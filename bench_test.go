@@ -1,0 +1,284 @@
+package nova_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus the ablation benches for the design choices
+// called out in DESIGN.md and micro-benchmarks of the core algorithms.
+//
+// The per-table benches regenerate the experiment on a small/fast subset
+// of the suite by default so `go test -bench=.` completes in minutes; run
+// cmd/novabench for the full-suite tables.
+
+import (
+	"testing"
+
+	"nova"
+	"nova/internal/bench"
+	"nova/internal/encode"
+	"nova/internal/espresso"
+	"nova/internal/experiments"
+	"nova/internal/mvmin"
+	"nova/internal/symbolic"
+)
+
+// fastSubset keeps the per-iteration cost of the table benches bounded.
+var fastSubset = []string{"bbtas", "dk27", "shiftreg", "train11", "ex3", "beecount", "dk15", "lion"}
+
+func runnerOpts() experiments.RunOpts {
+	return experiments.RunOpts{Only: fastSubset, Seed: 1}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(runnerOpts())
+		if rows := r.TableI(); len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(runnerOpts())
+		if _, err := r.TableII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(runnerOpts())
+		if _, err := r.TableIII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(runnerOpts())
+		if _, err := r.TableIV(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(runnerOpts())
+		if _, err := r.TableV(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(runnerOpts())
+		if _, err := r.TableVI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(runnerOpts())
+		if _, err := r.TableVII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigureVIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(runnerOpts())
+		if _, err := r.FigureVIII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigureIX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(runnerOpts())
+		if _, err := r.FigureIX(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigureX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(runnerOpts())
+		if _, err := r.FigureX(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------------- ablations
+
+// BenchmarkAblationWeightOrder measures ihybrid's decreasing-weight
+// acceptance order against the reversed order (DESIGN.md §5).
+func BenchmarkAblationWeightOrder(b *testing.B) {
+	f := bench.Get("ex3")
+	totalDesc, totalAsc := 0, 0
+	for i := 0; i < b.N; i++ {
+		d, a, err := experiments.AblationWeightOrder(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalDesc += d
+		totalAsc += a
+	}
+	b.ReportMetric(float64(totalDesc)/float64(b.N), "wsat-desc")
+	b.ReportMetric(float64(totalAsc)/float64(b.N), "wsat-asc")
+}
+
+// BenchmarkAblationMaxWork sweeps the semiexact max_work bound.
+func BenchmarkAblationMaxWork(b *testing.B) {
+	f := bench.Get("ex2")
+	p, err := mvmin.Build(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ics := p.Constraints(p.Minimize(espresso.Options{})).States
+	for _, work := range []int{500, 5000, 40000} {
+		b.Run(itoa(work), func(b *testing.B) {
+			sat := 0
+			for i := 0; i < b.N; i++ {
+				r := encode.IHybrid(f.NumStates(), ics, 0, encode.HybridOptions{MaxWork: work})
+				sat += r.WSat
+			}
+			b.ReportMetric(float64(sat)/float64(b.N), "wsat")
+		})
+	}
+}
+
+// BenchmarkAblationIOVariant compares iohybrid against iovariant (the
+// paper reports iohybrid wins; Section 6.2.2).
+func BenchmarkAblationIOVariant(b *testing.B) {
+	f := bench.Get("train11")
+	for _, alg := range []nova.Algorithm{nova.IOHybrid, nova.IOVariant} {
+		b.Run(string(alg), func(b *testing.B) {
+			area := 0
+			for i := 0; i < b.N; i++ {
+				res, err := nova.Encode(f, nova.Options{Algorithm: alg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				area += res.Area
+			}
+			b.ReportMetric(float64(area)/float64(b.N), "area")
+		})
+	}
+}
+
+// BenchmarkAblationCodeLength sweeps the code length for ihybrid,
+// reproducing the paper's observation that longer codes satisfying more
+// constraints do not pay off in area (Table II discussion).
+func BenchmarkAblationCodeLength(b *testing.B) {
+	f := bench.Get("ex5")
+	min := nova.MinLength(f.NumStates())
+	for bits := min; bits <= min+2; bits++ {
+		b.Run(itoa(bits), func(b *testing.B) {
+			area := 0
+			for i := 0; i < b.N; i++ {
+				res, err := nova.Encode(f, nova.Options{Algorithm: nova.IHybrid, Bits: bits})
+				if err != nil {
+					b.Fatal(err)
+				}
+				area += res.Area
+			}
+			b.ReportMetric(float64(area)/float64(b.N), "area")
+		})
+	}
+}
+
+// BenchmarkAblationSymbolicOrder compares the two next-state selection
+// orders of the symbolic minimization loop (step 4 of Section 6.1).
+func BenchmarkAblationSymbolicOrder(b *testing.B) {
+	f := bench.Get("ex3")
+	for _, small := range []bool{false, true} {
+		name := "big-first"
+		if small {
+			name = "small-first"
+		}
+		b.Run(name, func(b *testing.B) {
+			cubes := 0
+			for i := 0; i < b.N; i++ {
+				out, err := symbolic.Analyze(f, symbolic.Options{SelectSmallFirst: small})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cubes += out.FinalCubes
+			}
+			b.ReportMetric(float64(cubes)/float64(b.N), "finalP-cubes")
+		})
+	}
+}
+
+// --------------------------------------------------------- micro benches
+
+func BenchmarkMVMinimizePlanet(b *testing.B) {
+	f := bench.Get("planet")
+	p, err := mvmin.Build(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Minimize(espresso.Options{})
+	}
+}
+
+func BenchmarkIHybridKeyb(b *testing.B) {
+	f := bench.Get("keyb")
+	p, err := mvmin.Build(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ics := p.Constraints(p.Minimize(espresso.Options{})).States
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encode.IHybrid(f.NumStates(), ics, 0, encode.HybridOptions{})
+	}
+}
+
+func BenchmarkIGreedyPlanet(b *testing.B) {
+	f := bench.Get("planet")
+	p, err := mvmin.Build(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ics := p.Constraints(p.Minimize(espresso.Options{})).States
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encode.IGreedy(f.NumStates(), ics, 0)
+	}
+}
+
+func BenchmarkEncodePipelineBbara(b *testing.B) {
+	f := bench.Get("bbara")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nova.Encode(f, nova.Options{Algorithm: nova.IHybrid}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,81 @@
+// Command espresso exposes the built-in two-level minimizer on .pla
+// files, in the manner of the original tool NOVA shells out to.
+//
+// Usage:
+//
+//	espresso [-fast] [-exact] [-verify] file.pla   ("-" reads stdin)
+//
+// The input is a type-fd PLA ('1' = on-set, '-' = don't-care in the
+// output field). The minimized cover is written to stdout in the same
+// format. -exact runs the exact minimizer (prime generation + branch and
+// bound; small inputs only); -verify checks the result against the input
+// function by exact tautology-based containment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nova/internal/espresso"
+	"nova/internal/kiss"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "skip the REDUCE refinement")
+	exact := flag.Bool("exact", false, "exact minimization (small inputs only)")
+	doVerify := flag.Bool("verify", false, "verify equivalence of the result")
+	summary := flag.Bool("s", false, "print a cube-count summary to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: espresso [flags] file.pla  (use - for stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	pla, err := kiss.ParsePLA(in)
+	if err != nil {
+		fail(err)
+	}
+	onPLA, dcPLA := pla.Split()
+	on, dc := onPLA.OnSet(), dcPLA.OnSet()
+
+	var min = on
+	if *exact {
+		min = espresso.MinimumCover(on, dc, espresso.ExactOptions{})
+		if min == nil {
+			fail(fmt.Errorf("exact minimization exceeded its bounds; rerun without -exact"))
+		}
+	} else {
+		min = espresso.Minimize(on, dc, espresso.Options{SkipReduce: *fast})
+	}
+	if *doVerify {
+		if !espresso.Verify(min, on, dc) {
+			fail(fmt.Errorf("internal error: minimized cover is not equivalent"))
+		}
+		fmt.Fprintln(os.Stderr, "# verified: minimized cover equivalent to input")
+	}
+	out, err := kiss.FromCover(min, pla.NI, pla.NO)
+	if err != nil {
+		fail(err)
+	}
+	if *summary {
+		fmt.Fprintf(os.Stderr, "# %d terms in, %d terms out\n", len(pla.Rows), len(out.Rows))
+	}
+	if err := out.Write(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "espresso:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Command genbench writes the built-in benchmark suite to a directory as
+// KISS2 files (one .kiss2 per machine), so the machines can be inspected,
+// versioned, or fed to other tools (including cmd/nova).
+//
+// Usage:
+//
+//	genbench [-dir benchmarks]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nova/internal/bench"
+)
+
+func main() {
+	dir := flag.String("dir", "benchmarks", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fail(err)
+	}
+	for _, e := range bench.Suite() {
+		path := filepath.Join(*dir, e.Name+".kiss2")
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := e.F.Write(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		st := e.F.Stats()
+		fmt.Printf("%-12s %2d in %2d symin %2d out %3d states %4d terms -> %s\n",
+			e.Name, st.Inputs, st.SymIns, st.Outputs, st.States, st.Terms, path)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "genbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command nova encodes a finite state machine for a two-level (PLA)
+// implementation, in the manner of the original NOVA tool.
+//
+// Usage:
+//
+//	nova [-e algorithm] [-bits N] [-pla] [-verify] [-stats] file.kiss2
+//
+// The input is a KISS2 state transition table ("-" reads stdin). The tool
+// prints the code assignment and the product-term count and PLA area of
+// the minimized encoded machine; -pla additionally prints the encoded PLA
+// in espresso format, and -verify simulates the encoded machine against
+// the symbolic table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nova"
+)
+
+func main() {
+	alg := flag.String("e", "best", "encoding algorithm: iexact, ihybrid, igreedy, iohybrid, iovariant, best, kiss, onehot, random, mustang-p, mustang-n, mustang-pt, mustang-nt")
+	bits := flag.Int("bits", 0, "encoding length (0 = minimum)")
+	pla := flag.Bool("pla", false, "print the minimized encoded PLA")
+	doVerify := flag.Bool("verify", false, "verify the encoded machine against the symbolic table")
+	stats := flag.Bool("stats", false, "print machine statistics and input constraints")
+	seed := flag.Int64("seed", 1, "seed for the random algorithm")
+	trials := flag.Int("random-trials", 0, "batch size for -e random (0 = #states + #symbolic inputs)")
+	maxWork := flag.Int("max-work", 0, "bounded-backtracking work budget (0 = default)")
+	fast := flag.Bool("fast", false, "faster single-pass minimization")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nova [flags] file.kiss2  (use - for stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	fsm, err := nova.ParseKISS(in)
+	if err != nil {
+		fail(err)
+	}
+
+	if *stats {
+		st := fsm.Stats()
+		fmt.Printf("machine: %d inputs, %d symbolic inputs, %d outputs, %d states, %d terms\n",
+			st.Inputs, st.SymIns, st.Outputs, st.States, st.Terms)
+		ics, _, err := nova.Constraints(fsm)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("input constraints (%d):\n", len(ics))
+		for _, ic := range ics {
+			fmt.Printf("  %s  (weight %d)\n", ic.Set, ic.Weight)
+		}
+	}
+
+	res, err := nova.Encode(fsm, nova.Options{
+		Algorithm:    nova.Algorithm(*alg),
+		Bits:         *bits,
+		Seed:         *seed,
+		KeepPLA:      *pla,
+		RandomTrials: *trials,
+		MaxWork:      *maxWork,
+		FastMinimize: *fast,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if res.GaveUp {
+		fmt.Println("iexact: gave up within the work budget (try ihybrid)")
+		os.Exit(1)
+	}
+
+	fmt.Printf("algorithm: %s\n", res.Algorithm)
+	fmt.Printf("codes (%d bits):\n", res.Assignment.States.Bits)
+	for i, name := range fsm.States {
+		fmt.Printf("  %-12s %s\n", name, res.Assignment.States.CodeString(i))
+	}
+	for vi, enc := range res.Assignment.SymIns {
+		fmt.Printf("symbolic input %s (%d bits):\n", fsm.SymIns[vi].Name, enc.Bits)
+		for i, v := range fsm.SymIns[vi].Values {
+			fmt.Printf("  %-12s %s\n", v, enc.CodeString(i))
+		}
+	}
+	fmt.Printf("product terms: %d\n", res.Cubes)
+	fmt.Printf("PLA area:      %d\n", res.Area)
+	if res.WSat+res.WUnsat > 0 {
+		fmt.Printf("constraints:   weight %d satisfied, %d unsatisfied\n", res.WSat, res.WUnsat)
+	}
+	if res.TotalOC > 0 {
+		fmt.Printf("covering:      %d/%d output covering edges satisfied\n", res.SatisfiedOC, res.TotalOC)
+	}
+	if *pla && res.PLA != nil {
+		fmt.Println()
+		fmt.Print(res.PLA)
+	}
+	if *doVerify {
+		if err := nova.Verify(fsm, res.Assignment); err != nil {
+			fail(fmt.Errorf("verification FAILED: %v", err))
+		}
+		fmt.Println("verified: encoded machine matches the symbolic table")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nova:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command novabench regenerates the tables and figures of the NOVA paper's
+// evaluation (Section VII) on the built-in benchmark suite.
+//
+// Usage:
+//
+//	novabench [-table N] [-only name,name] [-skip-huge] [-fast] [-seed S]
+//
+// With no -table flag every experiment runs in order. Table numbers follow
+// the paper: 1-7 are Tables I-VII, 8-10 are the plot series the paper
+// prints as Tables VIII-X.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nova/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table/figure to regenerate (1..10, 0 = all)")
+	only := flag.String("only", "", "comma-separated benchmark names to restrict to")
+	skipHuge := flag.Bool("skip-huge", false, "skip the time-intensive machines (scf, tbk)")
+	fast := flag.Bool("fast", false, "use the faster single-pass minimizer")
+	seed := flag.Int64("seed", 1, "seed for the random baselines")
+	par := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	exactBudget := flag.Int("exact-budget", 1_500_000, "iexact work budget per machine (0 = library default)")
+	flag.Parse()
+
+	opts := experiments.RunOpts{
+		SkipHuge:     *skipHuge,
+		Seed:         *seed,
+		FastMinimize: *fast,
+		Parallel:     *par,
+		ExactBudget:  *exactBudget,
+	}
+	if *only != "" {
+		opts.Only = strings.Split(*only, ",")
+	}
+	r := experiments.NewRunner(opts)
+
+	run := func(n int) error {
+		start := time.Now()
+		var out string
+		var err error
+		switch n {
+		case 1:
+			out = experiments.FormatTableI(r.TableI())
+		case 2:
+			var rows []experiments.RowII
+			rows, err = r.TableII()
+			out = experiments.FormatTableII(rows)
+		case 3:
+			var rows []experiments.RowIII
+			rows, err = r.TableIII()
+			out = experiments.FormatTableIII(rows)
+		case 4:
+			var rows []experiments.RowIV
+			rows, err = r.TableIV()
+			out = experiments.FormatTableIV(rows)
+		case 5:
+			var rows []experiments.RowV
+			rows, err = r.TableV()
+			out = experiments.FormatTableV(rows)
+		case 6:
+			var rows []experiments.RowVI
+			rows, err = r.TableVI()
+			out = experiments.FormatTableVI(rows)
+		case 7:
+			var rows []experiments.RowVII
+			rows, err = r.TableVII()
+			out = experiments.FormatTableVII(rows)
+		case 8:
+			var pts []experiments.RatioPoint
+			pts, err = r.FigureVIII()
+			out = experiments.FormatFigure("TABLE VIII — SUMMARY OF NOVA vs KISS AND RANDOM", pts)
+		case 9:
+			var pts []experiments.RatioPoint
+			pts, err = r.FigureIX()
+			out = experiments.FormatFigure("TABLE IX — ihybrid AND iohybrid OVER BEST OF NOVA", pts)
+		case 10:
+			var pts []experiments.RatioPoint
+			pts, err = r.FigureX()
+			out = experiments.FormatFigure("TABLE X — MUSTANG OVER NOVA (cubes AND literals)", pts)
+		default:
+			return fmt.Errorf("unknown table %d", n)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		fmt.Printf("[table %d regenerated in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *table != 0 {
+		if err := run(*table); err != nil {
+			fmt.Fprintln(os.Stderr, "novabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for n := 1; n <= 10; n++ {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "novabench:", err)
+			os.Exit(1)
+		}
+	}
+}

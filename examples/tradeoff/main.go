@@ -1,0 +1,45 @@
+// Tradeoff reproduces the paper's code-length discussion (Section VII,
+// Table II): satisfying more input constraints by lengthening the code
+// does not pay off in PLA area — the columns added to the PLA outweigh
+// the product terms saved. The sweep runs ihybrid from the minimum length
+// upward on a benchmark machine and prints constraint satisfaction,
+// product terms and area per length.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nova"
+	"nova/internal/bench"
+)
+
+func main() {
+	name := "ex5"
+	fsm := bench.Get(name)
+	if fsm == nil {
+		log.Fatalf("unknown benchmark %s", name)
+	}
+	fmt.Printf("machine %s: %d states, minimum length %d\n\n",
+		name, fsm.NumStates(), nova.MinLength(fsm.NumStates()))
+
+	min := nova.MinLength(fsm.NumStates())
+	fmt.Printf("%5s %10s %12s %7s %7s\n", "bits", "wsat", "wunsat", "cubes", "area")
+	bestBits, bestArea := 0, 1<<62
+	for bits := min; bits <= fsm.NumStates(); bits++ {
+		res, err := nova.Encode(fsm, nova.Options{Algorithm: nova.IHybrid, Bits: bits})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d %10d %12d %7d %7d\n", res.Bits, res.WSat, res.WUnsat, res.Cubes, res.Area)
+		if res.Area < bestArea {
+			bestBits, bestArea = res.Bits, res.Area
+		}
+		if res.WUnsat == 0 {
+			fmt.Printf("\nall input constraints satisfied at %d bits\n", res.Bits)
+			break
+		}
+	}
+	fmt.Printf("best area %d at %d bits — the minimum-length region wins, as the paper observes\n",
+		bestArea, bestBits)
+}

@@ -1,0 +1,3 @@
+module nova
+
+go 1.22

@@ -1,0 +1,114 @@
+package constraint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkSet(bits uint16) Set {
+	s := NewSet(16)
+	for i := 0; i < 16; i++ {
+		if bits&(1<<uint(i)) != 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// Algebraic laws of the Set type, checked with testing/quick.
+
+func TestSetIntersectionCommutes(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := mkSet(a), mkSet(b)
+		return x.Intersect(y).Equal(y.Intersect(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetUnionDistributes(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		x, y, z := mkSet(a), mkSet(b), mkSet(c)
+		l := x.Intersect(y.Union(z))
+		r := x.Intersect(y).Union(x.Intersect(z))
+		return l.Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetSubsetIffIntersectSelf(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := mkSet(a), mkSet(b)
+		return x.SubsetOf(y) == x.Intersect(y).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetCardUnionInclusionExclusion(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := mkSet(a), mkSet(b)
+		return x.Union(y).Card() == x.Card()+y.Card()-x.Intersect(y).Card()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetStringRoundTrip(t *testing.T) {
+	f := func(a uint16) bool {
+		x := mkSet(a)
+		y, err := FromString(x.String())
+		return err == nil && x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetKeyInjective(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := mkSet(a), mkSet(b)
+		return (x.Key() == y.Key()) == x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetIntersectsConsistent(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := mkSet(a), mkSet(b)
+		return x.Intersects(y) == !x.Intersect(y).IsEmpty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProperSubsetIrreflexive(t *testing.T) {
+	f := func(a uint16) bool {
+		x := mkSet(a)
+		return !x.ProperSubsetOf(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	s := MustFromString("1010")
+	c := s.Copy()
+	c.Add(1)
+	if s.Has(1) {
+		t.Fatal("Copy aliases the original")
+	}
+	s.Remove(0)
+	if !c.Has(0) {
+		t.Fatal("original mutation leaked into copy")
+	}
+}

@@ -1,0 +1,316 @@
+package cube
+
+import (
+	"sort"
+	"strings"
+)
+
+// Cover is a set of cubes sharing one Structure. The zero Cover with a nil
+// Structure is not usable; create covers with NewCover.
+type Cover struct {
+	S     *Structure
+	Cubes []Cube
+}
+
+// NewCover returns an empty cover over structure s.
+func NewCover(s *Structure) *Cover { return &Cover{S: s} }
+
+// Add appends cube c to the cover. The cube is not copied.
+func (f *Cover) Add(c Cube) { f.Cubes = append(f.Cubes, c) }
+
+// Len returns the number of cubes in the cover.
+func (f *Cover) Len() int { return len(f.Cubes) }
+
+// Copy returns a deep copy of the cover.
+func (f *Cover) Copy() *Cover {
+	g := NewCover(f.S)
+	g.Cubes = make([]Cube, len(f.Cubes))
+	for i, c := range f.Cubes {
+		g.Cubes[i] = c.Copy()
+	}
+	return g
+}
+
+// Without returns a shallow cover containing every cube except index i.
+func (f *Cover) Without(i int) *Cover {
+	g := NewCover(f.S)
+	g.Cubes = make([]Cube, 0, len(f.Cubes)-1)
+	g.Cubes = append(g.Cubes, f.Cubes[:i]...)
+	g.Cubes = append(g.Cubes, f.Cubes[i+1:]...)
+	return g
+}
+
+// Append returns a shallow cover containing the cubes of f followed by the
+// cubes of each g.
+func (f *Cover) Append(gs ...*Cover) *Cover {
+	out := NewCover(f.S)
+	out.Cubes = append(out.Cubes, f.Cubes...)
+	for _, g := range gs {
+		out.Cubes = append(out.Cubes, g.Cubes...)
+	}
+	return out
+}
+
+// String renders the cover one cube per line.
+func (f *Cover) String() string {
+	var b strings.Builder
+	for _, c := range f.Cubes {
+		b.WriteString(f.S.String(c))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CofactorCube returns the cofactor cover F/c: the cofactor of every cube of
+// f that intersects c.
+func (f *Cover) CofactorCube(c Cube) *Cover {
+	g := NewCover(f.S)
+	for _, q := range f.Cubes {
+		if r := f.S.Cofactor(q, c); r != nil {
+			g.Add(r)
+		}
+	}
+	return g
+}
+
+// activeVar describes how constrained a variable is across a cover.
+type activeVar struct {
+	v       int
+	active  int // cubes in which the variable field is not full
+	missing int // parts never set across the cover (column-OR gap)
+}
+
+// pickSplitVar selects the branching variable for the unate-recursion
+// procedures: the variable that is not full in the largest number of cubes
+// (the "most binate"). Returns -1 when every cube is full in every variable.
+func (f *Cover) pickSplitVar() int {
+	s := f.S
+	best, bestActive := -1, 0
+	for v := 0; v < s.NumVars(); v++ {
+		active := 0
+		for _, c := range f.Cubes {
+			if !s.VarFull(c, v) {
+				active++
+			}
+		}
+		if active > bestActive {
+			best, bestActive = v, active
+		}
+	}
+	return best
+}
+
+// columnOr returns the bitwise OR of all cubes of the cover.
+func (f *Cover) columnOr() Cube {
+	or := f.S.NewCube()
+	for _, c := range f.Cubes {
+		Or(or, or, c)
+	}
+	return or
+}
+
+// Tautology reports whether the cover covers the entire minterm space. The
+// implementation is the Shannon/unate-recursion procedure: quick checks for
+// a universe row and for a missing column, then branching on the most binate
+// variable and recursing on every value cofactor.
+func (f *Cover) Tautology() bool {
+	if len(f.Cubes) == 0 {
+		return false
+	}
+	s := f.S
+	// Universe row: immediate tautology.
+	for _, c := range f.Cubes {
+		if s.IsFull(c) {
+			return true
+		}
+	}
+	// Missing column: some (variable, part) never admitted by any cube, so
+	// the minterms with that value are uncovered.
+	or := f.columnOr()
+	if !s.IsFull(or) {
+		return false
+	}
+	v := f.pickSplitVar()
+	if v < 0 {
+		// No cube is full (checked above) yet every cube is full in every
+		// variable: impossible; covered for robustness.
+		return true
+	}
+	// Special case: exactly one active variable. Every cube full elsewhere,
+	// so tautology iff the column OR of v is full — already verified.
+	single := true
+	for _, c := range f.Cubes {
+		for u := 0; u < s.NumVars(); u++ {
+			if u != v && !s.VarFull(c, u) {
+				single = false
+				break
+			}
+		}
+		if !single {
+			break
+		}
+	}
+	if single {
+		return true
+	}
+	sel := s.FullCube()
+	for p := 0; p < s.Size(v); p++ {
+		s.ClearAll(sel, v)
+		s.Set(sel, v, p)
+		if !f.CofactorCube(sel).Tautology() {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversCube reports whether the cover contains cube c, i.e. every minterm
+// of c is covered by some cube of f. Implemented as Tautology(F/c).
+func (f *Cover) CoversCube(c Cube) bool {
+	if f.S.IsEmpty(c) {
+		return true
+	}
+	return f.CofactorCube(c).Tautology()
+}
+
+// Complement returns a cover of the complement of f over the full minterm
+// space, using Shannon expansion on the most binate variable with
+// single-cube and unate-leaf terminal cases. The result is made minimal with
+// single-cube containment only.
+func (f *Cover) Complement() *Cover {
+	s := f.S
+	out := NewCover(s)
+	if len(f.Cubes) == 0 {
+		out.Add(s.FullCube())
+		return out
+	}
+	for _, c := range f.Cubes {
+		if s.IsFull(c) {
+			return out // complement of universe is empty
+		}
+	}
+	if len(f.Cubes) == 1 {
+		return s.complementCube(f.Cubes[0])
+	}
+	v := f.pickSplitVar()
+	if v < 0 {
+		return out
+	}
+	sel := s.FullCube()
+	for p := 0; p < s.Size(v); p++ {
+		s.ClearAll(sel, v)
+		s.Set(sel, v, p)
+		sub := f.CofactorCube(sel).Complement()
+		for _, c := range sub.Cubes {
+			r := c.Copy()
+			s.ClearAll(r, v)
+			s.Set(r, v, p)
+			out.Add(r)
+		}
+	}
+	out.mergeAdjacent(v)
+	out.SingleCubeContainment()
+	return out
+}
+
+// complementCube returns the complement of a single cube as a disjoint
+// cover: for each variable with a non-full field, one cube admitting the
+// missing parts of that variable and the full range of later variables,
+// restricted to the cube's parts on earlier variables (disjoint sharp).
+func (s *Structure) complementCube(c Cube) *Cover {
+	out := NewCover(s)
+	prefix := s.FullCube()
+	for v := 0; v < s.NumVars(); v++ {
+		if !s.VarFull(c, v) {
+			r := prefix.Copy()
+			s.ClearAll(r, v)
+			for p := 0; p < s.Size(v); p++ {
+				if !s.Test(c, v, p) {
+					s.Set(r, v, p)
+				}
+			}
+			out.Add(r)
+		}
+		// Restrict the prefix to the cube's field for subsequent entries.
+		off := s.Offset(v)
+		for p := 0; p < s.Size(v); p++ {
+			if !s.Test(c, v, p) {
+				prefix.clearBit(off + p)
+			}
+		}
+	}
+	return out
+}
+
+// mergeAdjacent merges pairs of cubes that are identical except in variable
+// v, OR-ing their v fields. It is the cheap "personality merge" applied
+// after a Shannon split to curb complement growth.
+func (f *Cover) mergeAdjacent(v int) {
+	s := f.S
+	type key struct{ k string }
+	index := make(map[string]int)
+	var kept []Cube
+	mask := s.NewCube()
+	s.SetAll(mask, v)
+	for _, c := range f.Cubes {
+		rest := c.Copy()
+		s.ClearAll(rest, v)
+		k := rest.Key()
+		if i, ok := index[k]; ok {
+			Or(kept[i], kept[i], c)
+			continue
+		}
+		index[k] = len(kept)
+		kept = append(kept, c)
+	}
+	_ = key{}
+	f.Cubes = kept
+}
+
+// SingleCubeContainment removes every cube contained in another single cube
+// of the cover (and duplicate cubes). Larger cubes are preferred.
+func (f *Cover) SingleCubeContainment() {
+	sort.Slice(f.Cubes, func(i, j int) bool {
+		return f.Cubes[i].PopCount() > f.Cubes[j].PopCount()
+	})
+	var kept []Cube
+	for _, c := range f.Cubes {
+		contained := false
+		for _, k := range kept {
+			if Contains(k, c) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			kept = append(kept, c)
+		}
+	}
+	f.Cubes = kept
+}
+
+// Minterms enumerates every minterm covered by f exactly once and calls fn
+// with a minterm cube (one part per variable). Enumeration is in
+// lexicographic part order. Intended for small spaces (verification).
+func (f *Cover) Minterms(fn func(Cube)) {
+	s := f.S
+	m := s.NewCube()
+	var rec func(v int)
+	rec = func(v int) {
+		if v == s.NumVars() {
+			for _, c := range f.Cubes {
+				if Contains(c, m) {
+					fn(m.Copy())
+					return
+				}
+			}
+			return
+		}
+		for p := 0; p < s.Size(v); p++ {
+			s.Set(m, v, p)
+			rec(v + 1)
+			s.Clear(m, v, p)
+		}
+	}
+	rec(0)
+}

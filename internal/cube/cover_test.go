@@ -1,0 +1,194 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// parse builds a cube from per-variable part strings like "01", "110".
+func parse(s *Structure, fields ...string) Cube {
+	c := s.NewCube()
+	for v, f := range fields {
+		for p, ch := range f {
+			if ch == '1' {
+				s.Set(c, v, p)
+			}
+		}
+	}
+	return c
+}
+
+func TestTautologySimple(t *testing.T) {
+	s := NewStructure(2)
+	f := NewCover(s)
+	f.Add(parse(s, "01"))
+	f.Add(parse(s, "10"))
+	if !f.Tautology() {
+		t.Fatal("x + x' is a tautology")
+	}
+	g := NewCover(s)
+	g.Add(parse(s, "01"))
+	if g.Tautology() {
+		t.Fatal("a single literal is not a tautology")
+	}
+}
+
+func TestTautologyEmptyCover(t *testing.T) {
+	s := NewStructure(2, 2)
+	if NewCover(s).Tautology() {
+		t.Fatal("empty cover must not be a tautology")
+	}
+}
+
+func TestTautologyMV(t *testing.T) {
+	s := NewStructure(3, 2)
+	f := NewCover(s)
+	f.Add(parse(s, "110", "11"))
+	f.Add(parse(s, "001", "10"))
+	f.Add(parse(s, "001", "01"))
+	if !f.Tautology() {
+		t.Fatal("cover partitions the space: tautology expected")
+	}
+	g := NewCover(s)
+	g.Add(parse(s, "110", "11"))
+	g.Add(parse(s, "001", "10"))
+	if g.Tautology() {
+		t.Fatal("minterm (value2, 1) is uncovered")
+	}
+}
+
+func TestCoversCube(t *testing.T) {
+	s := NewStructure(2, 2)
+	f := NewCover(s)
+	f.Add(parse(s, "01", "11"))
+	f.Add(parse(s, "10", "01"))
+	if !f.CoversCube(parse(s, "01", "10")) {
+		t.Fatal("cube inside first cube should be covered")
+	}
+	if f.CoversCube(parse(s, "10", "10")) {
+		t.Fatal("minterm (1, 0) is not covered")
+	}
+	// The union covers (x=0, anything) ∪ (x=1, y=1): the cube (-, 1) is
+	// covered by the union though by neither cube alone.
+	if !f.CoversCube(parse(s, "11", "01")) {
+		t.Fatal("cube covered by the union should be detected")
+	}
+}
+
+func TestComplementSingleCube(t *testing.T) {
+	s := NewStructure(2, 2)
+	f := NewCover(s)
+	f.Add(parse(s, "01", "01"))
+	comp := f.Complement()
+	// Complement of a single minterm in a 2x2 space covers 3 minterms.
+	total := 0
+	comp.Minterms(func(Cube) { total++ })
+	if total != 3 {
+		t.Fatalf("complement covers %d minterms, want 3", total)
+	}
+	// Complement and original must be disjoint and jointly exhaustive.
+	if !f.Append(comp).Tautology() {
+		t.Fatal("f + f' must be a tautology")
+	}
+	for _, c := range comp.Cubes {
+		if s.Intersects(c, f.Cubes[0]) {
+			t.Fatal("complement intersects the function")
+		}
+	}
+}
+
+func TestComplementUniverse(t *testing.T) {
+	s := NewStructure(2, 3)
+	f := NewCover(s)
+	f.Add(s.FullCube())
+	if comp := f.Complement(); comp.Len() != 0 {
+		t.Fatalf("complement of universe has %d cubes, want 0", comp.Len())
+	}
+	empty := NewCover(s)
+	comp := empty.Complement()
+	if comp.Len() != 1 || !s.IsFull(comp.Cubes[0]) {
+		t.Fatal("complement of empty cover must be the universe")
+	}
+}
+
+func TestComplementRandomized(t *testing.T) {
+	s := NewStructure(2, 2, 3)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		f := NewCover(s)
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			f.Add(randomCube(s, rng))
+		}
+		comp := f.Complement()
+		if !f.Append(comp).Tautology() {
+			t.Fatalf("trial %d: f + f' is not a tautology\nf:\n%scomp:\n%s", trial, f, comp)
+		}
+		for _, c := range comp.Cubes {
+			for _, q := range f.Cubes {
+				r := s.NewCube()
+				And(r, c, q)
+				if !s.IsEmpty(r) {
+					t.Fatalf("trial %d: complement overlaps function", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleCubeContainment(t *testing.T) {
+	s := NewStructure(2, 2)
+	f := NewCover(s)
+	f.Add(parse(s, "11", "11"))
+	f.Add(parse(s, "01", "01"))
+	f.Add(parse(s, "01", "01")) // duplicate
+	f.SingleCubeContainment()
+	if f.Len() != 1 {
+		t.Fatalf("SCC left %d cubes, want 1", f.Len())
+	}
+	if !s.IsFull(f.Cubes[0]) {
+		t.Fatal("SCC kept the wrong cube")
+	}
+}
+
+func TestCofactorCoverTautologyRelation(t *testing.T) {
+	// F covers cube c iff F/c is a tautology; cross-check on random data
+	// against explicit minterm enumeration.
+	s := NewStructure(2, 2, 2)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 80; trial++ {
+		f := NewCover(s)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			f.Add(randomCube(s, rng))
+		}
+		c := randomCube(s, rng)
+		covered := map[string]bool{}
+		f.Minterms(func(m Cube) { covered[m.Key()] = true })
+		want := true
+		sel := NewCover(s)
+		sel.Add(c)
+		sel.Minterms(func(m Cube) {
+			if !covered[m.Key()] {
+				want = false
+			}
+		})
+		if got := f.CoversCube(c); got != want {
+			t.Fatalf("trial %d: CoversCube = %v, want %v\nF:\n%sc: %s", trial, got, want, f, s.String(c))
+		}
+	}
+}
+
+func TestWithout(t *testing.T) {
+	s := NewStructure(2)
+	f := NewCover(s)
+	f.Add(parse(s, "01"))
+	f.Add(parse(s, "10"))
+	f.Add(parse(s, "11"))
+	g := f.Without(1)
+	if g.Len() != 2 || f.Len() != 3 {
+		t.Fatalf("Without: got %d/%d cubes", g.Len(), f.Len())
+	}
+	if !g.Cubes[0].Equal(f.Cubes[0]) || !g.Cubes[1].Equal(f.Cubes[2]) {
+		t.Fatal("Without removed the wrong cube")
+	}
+}

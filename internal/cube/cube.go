@@ -1,0 +1,402 @@
+// Package cube implements the multiple-valued cube and cover algebra that
+// underlies two-level logic minimization in the positional-cube notation of
+// ESPRESSO-MV.
+//
+// A logic function over multiple-valued variables X1..Xn (a binary variable
+// is the special case of a 2-valued variable) is represented by a cover: a
+// set of cubes. Each cube is a bit vector with one bit ("part") per value of
+// each variable. Bit (v, p) set means the cube admits value p for variable
+// v. A cube denotes the set of minterms whose value of every variable is
+// admitted. A cube with an empty field for some variable denotes the empty
+// set.
+//
+// Multi-output functions are represented, as in ESPRESSO, by treating the
+// output part as one more multiple-valued variable whose values index the
+// individual outputs: the cover then represents the characteristic function
+// of the set of pairs (input-minterm, output-index) where the output is 1.
+package cube
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Structure describes the variable layout shared by all cubes of a cover:
+// how many variables there are and how many parts (values) each has.
+// A Structure is immutable after creation.
+type Structure struct {
+	sizes   []int // parts per variable
+	offsets []int // first bit index of each variable
+	nbits   int   // total parts
+	nwords  int   // words per cube
+}
+
+// NewStructure returns a Structure for variables with the given part counts.
+// Every count must be at least 1 (a 1-valued variable is degenerate but
+// legal; binary variables have 2 parts).
+func NewStructure(sizes ...int) *Structure {
+	s := &Structure{sizes: append([]int(nil), sizes...)}
+	s.offsets = make([]int, len(sizes))
+	for i, n := range sizes {
+		if n < 1 {
+			panic(fmt.Sprintf("cube: variable %d has invalid part count %d", i, n))
+		}
+		s.offsets[i] = s.nbits
+		s.nbits += n
+	}
+	s.nwords = (s.nbits + 63) / 64
+	if s.nwords == 0 {
+		s.nwords = 1
+	}
+	return s
+}
+
+// NumVars returns the number of variables.
+func (s *Structure) NumVars() int { return len(s.sizes) }
+
+// Size returns the number of parts of variable v.
+func (s *Structure) Size(v int) int { return s.sizes[v] }
+
+// Offset returns the index of the first part of variable v.
+func (s *Structure) Offset(v int) int { return s.offsets[v] }
+
+// Bits returns the total number of parts over all variables.
+func (s *Structure) Bits() int { return s.nbits }
+
+// Words returns the number of 64-bit words a cube occupies.
+func (s *Structure) Words() int { return s.nwords }
+
+// Equal reports whether two structures describe the same layout.
+func (s *Structure) Equal(t *Structure) bool {
+	if s == t {
+		return true
+	}
+	if t == nil || len(s.sizes) != len(t.sizes) {
+		return false
+	}
+	for i := range s.sizes {
+		if s.sizes[i] != t.sizes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cube is a positional-notation cube laid out per a Structure. Cubes are
+// plain word slices; all semantic operations take the owning Structure.
+type Cube []uint64
+
+// NewCube returns an all-zero (empty) cube for structure s.
+func (s *Structure) NewCube() Cube { return make(Cube, s.nwords) }
+
+// FullCube returns the universe cube: every part of every variable set.
+func (s *Structure) FullCube() Cube {
+	c := s.NewCube()
+	for i := 0; i < s.nbits; i++ {
+		c.setBit(i)
+	}
+	return c
+}
+
+func (c Cube) setBit(i int)       { c[i>>6] |= 1 << uint(i&63) }
+func (c Cube) clearBit(i int)     { c[i>>6] &^= 1 << uint(i&63) }
+func (c Cube) testBit(i int) bool { return c[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Set sets part p of variable v in the cube.
+func (s *Structure) Set(c Cube, v, p int) { c.setBit(s.offsets[v] + p) }
+
+// Clear clears part p of variable v in the cube.
+func (s *Structure) Clear(c Cube, v, p int) { c.clearBit(s.offsets[v] + p) }
+
+// Test reports whether part p of variable v is set.
+func (s *Structure) Test(c Cube, v, p int) bool { return c.testBit(s.offsets[v] + p) }
+
+// SetAll sets every part of variable v.
+func (s *Structure) SetAll(c Cube, v int) {
+	for p := 0; p < s.sizes[v]; p++ {
+		c.setBit(s.offsets[v] + p)
+	}
+}
+
+// ClearAll clears every part of variable v.
+func (s *Structure) ClearAll(c Cube, v int) {
+	for p := 0; p < s.sizes[v]; p++ {
+		c.clearBit(s.offsets[v] + p)
+	}
+}
+
+// Copy returns an independent copy of c.
+func (c Cube) Copy() Cube { return append(Cube(nil), c...) }
+
+// Equal reports whether two cubes are bit-identical.
+func (c Cube) Equal(d Cube) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a string usable as a map key identifying the cube's bits.
+func (c Cube) Key() string {
+	var b strings.Builder
+	for _, w := range c {
+		fmt.Fprintf(&b, "%016x", w)
+	}
+	return b.String()
+}
+
+// VarCount returns the number of set parts of variable v in c.
+func (s *Structure) VarCount(c Cube, v int) int {
+	n := 0
+	off, sz := s.offsets[v], s.sizes[v]
+	for p := 0; p < sz; p++ {
+		if c.testBit(off + p) {
+			n++
+		}
+	}
+	return n
+}
+
+// VarFull reports whether every part of variable v is set in c.
+func (s *Structure) VarFull(c Cube, v int) bool {
+	return s.VarCount(c, v) == s.sizes[v]
+}
+
+// VarEmpty reports whether no part of variable v is set in c.
+func (s *Structure) VarEmpty(c Cube, v int) bool {
+	return s.VarCount(c, v) == 0
+}
+
+// IsEmpty reports whether c denotes the empty set: some variable field has
+// no parts set.
+func (s *Structure) IsEmpty(c Cube) bool {
+	for v := range s.sizes {
+		if s.VarEmpty(c, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsFull reports whether c is the universe cube.
+func (s *Structure) IsFull(c Cube) bool {
+	for v := range s.sizes {
+		if !s.VarFull(c, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// And stores the bitwise intersection of a and b into dst and returns dst.
+// dst may alias a or b. The result denotes set intersection; use IsEmpty to
+// test emptiness.
+func And(dst, a, b Cube) Cube {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+	return dst
+}
+
+// Or stores the bitwise union of a and b into dst and returns dst. The
+// result is the supercube of cubes a and b when a and b are nonempty.
+func Or(dst, a, b Cube) Cube {
+	for i := range dst {
+		dst[i] = a[i] | b[i]
+	}
+	return dst
+}
+
+// Contains reports whether cube a contains cube b (as sets: every part set
+// in b is set in a). An empty b is contained in everything.
+func Contains(a, b Cube) bool {
+	for i := range a {
+		if b[i]&^a[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether cubes a and b have a nonempty intersection
+// under structure s.
+func (s *Structure) Intersects(a, b Cube) bool {
+	t := s.NewCube()
+	And(t, a, b)
+	return !s.IsEmpty(t)
+}
+
+// Distance returns the number of variables in which a and b have an empty
+// intersection. Distance 0 means the cubes intersect; distance 1 means
+// consensus exists.
+func (s *Structure) Distance(a, b Cube) int {
+	d := 0
+	for v := range s.sizes {
+		empty := true
+		off, sz := s.offsets[v], s.sizes[v]
+		for p := 0; p < sz; p++ {
+			i := off + p
+			if a.testBit(i) && b.testBit(i) {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			d++
+		}
+	}
+	return d
+}
+
+// Consensus returns the consensus of cubes a and b, or nil if the distance
+// between them is not exactly 1. The consensus is the largest cube contained
+// in a∪b that spans both.
+func (s *Structure) Consensus(a, b Cube) Cube {
+	conflict := -1
+	for v := range s.sizes {
+		empty := true
+		off, sz := s.offsets[v], s.sizes[v]
+		for p := 0; p < sz; p++ {
+			i := off + p
+			if a.testBit(i) && b.testBit(i) {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			if conflict >= 0 {
+				return nil
+			}
+			conflict = v
+		}
+	}
+	if conflict < 0 {
+		return nil
+	}
+	r := s.NewCube()
+	And(r, a, b)
+	off, sz := s.offsets[conflict], s.sizes[conflict]
+	for p := 0; p < sz; p++ {
+		i := off + p
+		if a.testBit(i) || b.testBit(i) {
+			r.setBit(i)
+		} else {
+			r.clearBit(i)
+		}
+	}
+	return r
+}
+
+// Cofactor returns the cofactor of cube q with respect to cube c, or nil if
+// q and c do not intersect. The cofactor has every variable field equal to
+// q_v ∪ ¬c_v (within the field).
+func (s *Structure) Cofactor(q, c Cube) Cube {
+	if !s.Intersects(q, c) {
+		return nil
+	}
+	r := q.Copy()
+	for v := range s.sizes {
+		off, sz := s.offsets[v], s.sizes[v]
+		for p := 0; p < sz; p++ {
+			if !c.testBit(off + p) {
+				r.setBit(off + p)
+			}
+		}
+	}
+	return r
+}
+
+// PopCount returns the total number of set parts in c.
+func (c Cube) PopCount() int {
+	n := 0
+	for _, w := range c {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Minterms returns the number of minterms cube c spans: the product of the
+// per-variable part counts. Returns 0 for an empty cube.
+func (s *Structure) Minterms(c Cube) int {
+	n := 1
+	for v := range s.sizes {
+		k := s.VarCount(c, v)
+		if k == 0 {
+			return 0
+		}
+		n *= k
+	}
+	return n
+}
+
+// VarParts returns the set part indexes of variable v in c.
+func (s *Structure) VarParts(c Cube, v int) []int {
+	var parts []int
+	off, sz := s.offsets[v], s.sizes[v]
+	for p := 0; p < sz; p++ {
+		if c.testBit(off + p) {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// String renders c per structure s: one character per part, variables
+// separated by spaces, '1' for set and '0' for cleared parts.
+func (s *Structure) String(c Cube) string {
+	var b strings.Builder
+	for v := range s.sizes {
+		if v > 0 {
+			b.WriteByte(' ')
+		}
+		off, sz := s.offsets[v], s.sizes[v]
+		for p := 0; p < sz; p++ {
+			if c.testBit(off + p) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+	}
+	return b.String()
+}
+
+// BinaryString renders a cube over binary variables using the PLA alphabet:
+// '0', '1', '-' per binary variable, '?' for an empty field. Variables with
+// more than two parts are rendered positionally in braces.
+func (s *Structure) BinaryString(c Cube) string {
+	var b strings.Builder
+	for v := range s.sizes {
+		off, sz := s.offsets[v], s.sizes[v]
+		if sz == 2 {
+			zero, one := c.testBit(off), c.testBit(off+1)
+			switch {
+			case zero && one:
+				b.WriteByte('-')
+			case zero:
+				b.WriteByte('0')
+			case one:
+				b.WriteByte('1')
+			default:
+				b.WriteByte('?')
+			}
+			continue
+		}
+		b.WriteByte('{')
+		for p := 0; p < sz; p++ {
+			if c.testBit(off + p) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package cube
+
+// Sharp operations: cube and cover difference in the multiple-valued
+// positional notation. Sharp(a, b) covers exactly the minterms of a not in
+// b; the disjoint variant produces pairwise-disjoint result cubes, which
+// keeps downstream counting exact at the cost of more cubes.
+
+// SharpCube returns a cover of a \ b (the minterms of cube a not in cube
+// b). The result uses the non-disjoint sharp: one cube per variable where
+// b lowers parts of a.
+func (s *Structure) SharpCube(a, b Cube) *Cover {
+	out := NewCover(s)
+	t := s.NewCube()
+	And(t, a, b)
+	if s.IsEmpty(t) {
+		out.Add(a.Copy())
+		return out
+	}
+	for v := 0; v < s.NumVars(); v++ {
+		// Parts of a's field not admitted by b.
+		c := a.Copy()
+		any := false
+		off := s.Offset(v)
+		for p := 0; p < s.Size(v); p++ {
+			if s.Test(a, v, p) && s.Test(b, v, p) {
+				c.clearBit(off + p)
+			} else if s.Test(a, v, p) {
+				any = true
+			}
+		}
+		if any && !s.IsEmpty(c) {
+			out.Add(c)
+		}
+	}
+	return out
+}
+
+// DisjointSharpCube returns a cover of a \ b whose cubes are pairwise
+// disjoint: variable v's contribution is restricted to a∩b on all earlier
+// variables.
+func (s *Structure) DisjointSharpCube(a, b Cube) *Cover {
+	out := NewCover(s)
+	t := s.NewCube()
+	And(t, a, b)
+	if s.IsEmpty(t) {
+		out.Add(a.Copy())
+		return out
+	}
+	prefix := a.Copy()
+	for v := 0; v < s.NumVars(); v++ {
+		off := s.Offset(v)
+		c := prefix.Copy()
+		any := false
+		for p := 0; p < s.Size(v); p++ {
+			if s.Test(a, v, p) && s.Test(b, v, p) {
+				c.clearBit(off + p)
+			} else if s.Test(a, v, p) {
+				any = true
+			}
+		}
+		if any && !s.IsEmpty(c) {
+			out.Add(c)
+		}
+		// Restrict the prefix to a∩b on this variable for later cubes.
+		for p := 0; p < s.Size(v); p++ {
+			if !s.Test(b, v, p) {
+				prefix.clearBit(off + p)
+			}
+		}
+	}
+	return out
+}
+
+// Sharp returns a cover of f \ g (every minterm of f not covered by g),
+// applying the disjoint sharp cube by cube with single-cube containment
+// between rounds to curb growth.
+func (f *Cover) Sharp(g *Cover) *Cover {
+	cur := f.Copy()
+	for _, b := range g.Cubes {
+		next := NewCover(f.S)
+		for _, a := range cur.Cubes {
+			next.Cubes = append(next.Cubes, f.S.DisjointSharpCube(a, b).Cubes...)
+		}
+		next.SingleCubeContainment()
+		cur = next
+		if len(cur.Cubes) == 0 {
+			break
+		}
+	}
+	return cur
+}
+
+// Disjoint returns an equivalent cover with pairwise-disjoint cubes.
+func (f *Cover) Disjoint() *Cover {
+	out := NewCover(f.S)
+	for _, c := range f.Cubes {
+		frag := NewCover(f.S)
+		frag.Add(c.Copy())
+		for _, prev := range out.Cubes {
+			next := NewCover(f.S)
+			for _, a := range frag.Cubes {
+				next.Cubes = append(next.Cubes, f.S.DisjointSharpCube(a, prev).Cubes...)
+			}
+			frag = next
+			if len(frag.Cubes) == 0 {
+				break
+			}
+		}
+		out.Cubes = append(out.Cubes, frag.Cubes...)
+	}
+	return out
+}
+
+// MintermCount returns the exact number of minterms the cover spans,
+// computed from a disjoint decomposition.
+func (f *Cover) MintermCount() int {
+	d := f.Disjoint()
+	n := 0
+	for _, c := range d.Cubes {
+		n += f.S.Minterms(c)
+	}
+	return n
+}

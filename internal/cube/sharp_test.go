@@ -1,0 +1,156 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mintermSet enumerates a cover's minterms as a key set.
+func mintermSet(f *Cover) map[string]bool {
+	out := map[string]bool{}
+	f.Minterms(func(m Cube) { out[m.Key()] = true })
+	return out
+}
+
+func TestSharpCubeBasic(t *testing.T) {
+	s := NewStructure(2, 2)
+	a := s.FullCube()
+	b := parse(s, "01", "01") // one minterm
+	diff := s.SharpCube(a, b)
+	got := mintermSet(diff)
+	if len(got) != 3 {
+		t.Fatalf("sharp covers %d minterms, want 3", len(got))
+	}
+	if got[b.Key()] {
+		t.Fatal("sharp still covers the removed minterm")
+	}
+}
+
+func TestSharpCubeDisjointOperands(t *testing.T) {
+	s := NewStructure(2, 2)
+	a := parse(s, "01", "11")
+	b := parse(s, "10", "11")
+	diff := s.SharpCube(a, b)
+	if diff.Len() != 1 || !diff.Cubes[0].Equal(a) {
+		t.Fatalf("sharp of disjoint cubes must return a unchanged:\n%s", diff)
+	}
+}
+
+func TestDisjointSharpPairwiseDisjoint(t *testing.T) {
+	s := NewStructure(2, 3, 2)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		a, b := randomCube(s, rng), randomCube(s, rng)
+		d := s.DisjointSharpCube(a, b)
+		for i := 0; i < d.Len(); i++ {
+			for j := i + 1; j < d.Len(); j++ {
+				if s.Intersects(d.Cubes[i], d.Cubes[j]) {
+					t.Fatalf("trial %d: disjoint sharp produced overlapping cubes", trial)
+				}
+			}
+		}
+		// Semantics: d = a \ b exactly.
+		inA, inB := mintermSet(coverOf(s, a)), mintermSet(coverOf(s, b))
+		got := mintermSet(d)
+		for k := range inA {
+			want := !inB[k]
+			if got[k] != want {
+				t.Fatalf("trial %d: minterm coverage wrong", trial)
+			}
+		}
+		for k := range got {
+			if !inA[k] || inB[k] {
+				t.Fatalf("trial %d: sharp covers a foreign minterm", trial)
+			}
+		}
+	}
+}
+
+func coverOf(s *Structure, cs ...Cube) *Cover {
+	f := NewCover(s)
+	for _, c := range cs {
+		f.Add(c)
+	}
+	return f
+}
+
+func TestCoverSharpSemantics(t *testing.T) {
+	s := NewStructure(2, 2, 2)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		f := coverOf(s, randomCube(s, rng), randomCube(s, rng))
+		g := coverOf(s, randomCube(s, rng), randomCube(s, rng))
+		diff := f.Sharp(g)
+		inF, inG, got := mintermSet(f), mintermSet(g), mintermSet(diff)
+		for k := range inF {
+			want := !inG[k]
+			if got[k] != want {
+				t.Fatalf("trial %d: sharp wrong at minterm", trial)
+			}
+		}
+		for k := range got {
+			if !inF[k] || inG[k] {
+				t.Fatalf("trial %d: sharp covers foreign minterm", trial)
+			}
+		}
+	}
+}
+
+func TestDisjointCoverEquivalent(t *testing.T) {
+	s := NewStructure(2, 2, 3)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		f := coverOf(s, randomCube(s, rng), randomCube(s, rng), randomCube(s, rng))
+		d := f.Disjoint()
+		if !sameSet(mintermSet(f), mintermSet(d)) {
+			t.Fatalf("trial %d: Disjoint changed the function", trial)
+		}
+		for i := 0; i < d.Len(); i++ {
+			for j := i + 1; j < d.Len(); j++ {
+				if s.Intersects(d.Cubes[i], d.Cubes[j]) {
+					t.Fatalf("trial %d: cubes %d,%d overlap", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMintermCount(t *testing.T) {
+	s := NewStructure(2, 2)
+	f := coverOf(s, parse(s, "01", "11"), parse(s, "11", "01"))
+	// a' covers 2 minterms, b' covers 2, overlap 1 -> 3.
+	if got := f.MintermCount(); got != 3 {
+		t.Fatalf("MintermCount = %d, want 3", got)
+	}
+	if got := NewCover(s).MintermCount(); got != 0 {
+		t.Fatalf("empty cover counts %d", got)
+	}
+}
+
+func TestSharpAgainstComplement(t *testing.T) {
+	// Universe \ f must equal Complement(f) as a set of minterms.
+	s := NewStructure(2, 3)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		f := coverOf(s, randomCube(s, rng), randomCube(s, rng))
+		u := NewCover(s)
+		u.Add(s.FullCube())
+		viaSharp := u.Sharp(f)
+		viaComp := f.Complement()
+		if !sameSet(mintermSet(viaSharp), mintermSet(viaComp)) {
+			t.Fatalf("trial %d: sharp and complement disagree", trial)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+
+	"nova/internal/constraint"
+)
+
+// Edge cases across the encoding algorithms.
+
+func TestIHybridSingleState(t *testing.T) {
+	r := IHybrid(1, nil, 0, HybridOptions{})
+	if r.Enc.Bits != 1 || len(r.Enc.Codes) != 1 {
+		t.Fatalf("single state: %+v", r.Enc)
+	}
+}
+
+func TestIHybridTwoStates(t *testing.T) {
+	r := IHybrid(2, nil, 0, HybridOptions{})
+	if r.Enc.Bits != 1 || !r.Enc.Distinct() {
+		t.Fatalf("two states: %+v", r.Enc)
+	}
+}
+
+func TestIGreedyNoConstraints(t *testing.T) {
+	r := IGreedy(5, nil, 0)
+	if !r.Enc.Distinct() || r.Enc.Bits != 3 {
+		t.Fatalf("greedy without constraints: %+v", r.Enc)
+	}
+}
+
+func TestIExactUniverseConstraintIgnored(t *testing.T) {
+	// The universe and singleton constraints are trivially satisfied and
+	// must be dropped by normalization.
+	ics := []constraint.Constraint{
+		{Set: constraint.Universe(4), Weight: 5},
+		{Set: constraint.Singleton(4, 2), Weight: 5},
+	}
+	r := IExact(4, ics, ExactOptions{})
+	if r.GaveUp || r.Enc.Bits != 2 {
+		t.Fatalf("trivial constraints: gaveUp=%v bits=%d", r.GaveUp, r.Enc.Bits)
+	}
+}
+
+func TestSatisfyAllEmpty(t *testing.T) {
+	r := SatisfyAll(6, nil)
+	if r.Enc.Bits != 3 || !r.Enc.Distinct() {
+		t.Fatalf("%+v", r.Enc)
+	}
+}
+
+func TestOutEncoderNoEdges(t *testing.T) {
+	e := OutEncoder(5, nil, 0)
+	if !e.Distinct() || e.Bits < 3 {
+		t.Fatalf("%+v", e)
+	}
+}
+
+func TestOutEncoderSelfLoopIgnoredGracefully(t *testing.T) {
+	// A cyclic (hence unsatisfiable) covering requirement must still
+	// yield distinct codes.
+	e := OutEncoder(3, []OCEdge{{U: 0, V: 1}, {U: 1, V: 0}}, 0)
+	if !e.Distinct() {
+		t.Fatal("codes not distinct under cyclic covering")
+	}
+}
+
+func TestIOHybridEmptyProblem(t *testing.T) {
+	r := IOHybrid(IOProblem{N: 4}, 0, HybridOptions{})
+	if !r.Enc.Distinct() || r.Enc.Bits != 2 {
+		t.Fatalf("%+v", r.Enc)
+	}
+}
+
+func TestProjectCodePreservesWidth(t *testing.T) {
+	ics := []constraint.Constraint{{Set: constraint.MustFromString("1100"), Weight: 1}}
+	r := IHybrid(4, ics, 6, HybridOptions{})
+	if r.Enc.Bits > 6 {
+		t.Fatalf("bits %d exceed requested 6", r.Enc.Bits)
+	}
+	if r.WUnsat != 0 {
+		t.Fatal("single constraint should be satisfied")
+	}
+}
+
+func TestSpannedFaceSingleton(t *testing.T) {
+	e := RandomEncoding(4, 2, rand.New(rand.NewSource(9)))
+	f := SpannedFace(e, constraint.Singleton(4, 1))
+	if f.Level() != 0 || !f.HasVertex(e.Codes[1]) {
+		t.Fatalf("singleton span wrong: %+v", f)
+	}
+}

@@ -1,0 +1,336 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+
+	"nova/internal/constraint"
+	"nova/internal/encoding"
+)
+
+func paperIC(weights ...int) []constraint.Constraint {
+	vecs := []string{"1110000", "0111000", "0000111", "1000110", "0000011", "0011000"}
+	var ics []constraint.Constraint
+	for i, v := range vecs {
+		w := 1
+		if i < len(weights) {
+			w = weights[i]
+		}
+		ics = append(ics, constraint.Constraint{Set: constraint.MustFromString(v), Weight: w})
+	}
+	return ics
+}
+
+func checkAllSatisfied(t *testing.T, e encoding.Encoding, ics []constraint.Constraint) {
+	t.Helper()
+	if !e.Distinct() {
+		t.Fatalf("codes not distinct: %s", e)
+	}
+	for _, ic := range ics {
+		if !Satisfied(e, ic.Set) {
+			t.Fatalf("constraint %s unsatisfied under %s", ic.Set, e)
+		}
+	}
+}
+
+func TestIExactPaperExample(t *testing.T) {
+	// Example 3.1.1 / 3.4.2.1: the instance is feasible in dimension 4 and
+	// infeasible below (mincube_dim = 4 already).
+	res := IExact(7, paperIC(), ExactOptions{})
+	if res.GaveUp {
+		t.Fatal("iexact gave up on the paper example")
+	}
+	if res.Enc.Bits != 4 {
+		t.Fatalf("iexact found %d bits, want 4", res.Enc.Bits)
+	}
+	checkAllSatisfied(t, res.Enc, paperIC())
+	if res.WUnsat != 0 || len(res.Unsatisfied) != 0 {
+		t.Fatal("iexact must satisfy everything")
+	}
+}
+
+func TestIExactNoConstraints(t *testing.T) {
+	res := IExact(4, nil, ExactOptions{})
+	if res.GaveUp {
+		t.Fatal("gave up with no constraints")
+	}
+	if res.Enc.Bits != 2 {
+		t.Fatalf("bits = %d, want 2", res.Enc.Bits)
+	}
+	if !res.Enc.Distinct() {
+		t.Fatal("codes not distinct")
+	}
+}
+
+func TestIExactSingleConstraint(t *testing.T) {
+	ics := []constraint.Constraint{{Set: constraint.MustFromString("1100"), Weight: 1}}
+	res := IExact(4, ics, ExactOptions{})
+	if res.GaveUp || res.Enc.Bits != 2 {
+		t.Fatalf("gaveUp=%v bits=%d, want feasible in 2", res.GaveUp, res.Enc.Bits)
+	}
+	checkAllSatisfied(t, res.Enc, ics)
+}
+
+func TestIExactConflictNeedsMoreBits(t *testing.T) {
+	// Three pairwise overlapping 2-sets over 3 states cannot all be faces
+	// of a 2-cube; dimension 3 is needed (e.g. codes on a 3-cube).
+	ics := []constraint.Constraint{
+		{Set: constraint.MustFromString("110"), Weight: 1},
+		{Set: constraint.MustFromString("011"), Weight: 1},
+		{Set: constraint.MustFromString("101"), Weight: 1},
+	}
+	res := IExact(3, ics, ExactOptions{})
+	if res.GaveUp {
+		t.Fatal("gave up")
+	}
+	checkAllSatisfied(t, res.Enc, ics)
+	if res.Enc.Bits < 3 {
+		t.Fatalf("bits = %d; three mutually overlapping pairs need 3", res.Enc.Bits)
+	}
+}
+
+func TestIHybridPaperExample41(t *testing.T) {
+	// Example 4.1: weights 4,2,3,5,1,1; with #bits=4 the projection phase
+	// satisfies everything.
+	ics := paperIC(4, 2, 3, 5, 1, 1)
+	res := IHybrid(7, ics, 4, HybridOptions{})
+	if res.Enc.Bits > 4 {
+		t.Fatalf("bits = %d, want <= 4", res.Enc.Bits)
+	}
+	checkAllSatisfied(t, res.Enc, ics)
+}
+
+func TestIHybridMinimumLength(t *testing.T) {
+	// On the minimum length (3 bits for 7 states) not everything fits;
+	// the heavier constraints should be preferred.
+	ics := paperIC(4, 2, 3, 5, 1, 1)
+	res := IHybrid(7, ics, 0, HybridOptions{})
+	if res.Enc.Bits != 3 {
+		t.Fatalf("bits = %d, want 3", res.Enc.Bits)
+	}
+	if !res.Enc.Distinct() {
+		t.Fatal("codes not distinct")
+	}
+	// Every constraint reported satisfied must actually be satisfied.
+	for _, ic := range res.Satisfied {
+		if !Satisfied(res.Enc, ic.Set) {
+			t.Fatalf("reported-satisfied constraint %s is not", ic.Set)
+		}
+	}
+	// The single heaviest constraint is always satisfiable alone.
+	if res.WSat < 5 {
+		t.Fatalf("WSat = %d; the weight-5 constraint should be satisfied", res.WSat)
+	}
+	if res.WSat+res.WUnsat != 16 {
+		t.Fatalf("weights don't add up: %d + %d", res.WSat, res.WUnsat)
+	}
+}
+
+func TestIHybridProjectionGuarantee(t *testing.T) {
+	// With #bits = #states every input constraint must be satisfied
+	// (project_code satisfies at least one more per added dimension).
+	ics := paperIC(4, 2, 3, 5, 1, 1)
+	res := IHybrid(7, ics, 7, HybridOptions{})
+	checkAllSatisfied(t, res.Enc, ics)
+}
+
+func TestIHybridNoConstraints(t *testing.T) {
+	res := IHybrid(5, nil, 0, HybridOptions{})
+	if res.Enc.Bits != 3 || !res.Enc.Distinct() {
+		t.Fatalf("bits=%d distinct=%v", res.Enc.Bits, res.Enc.Distinct())
+	}
+}
+
+func TestIGreedyPaperExample(t *testing.T) {
+	ics := paperIC(4, 2, 3, 5, 1, 1)
+	res := IGreedy(7, ics, 0)
+	if res.Enc.Bits != 3 {
+		t.Fatalf("bits = %d, want 3", res.Enc.Bits)
+	}
+	if !res.Enc.Distinct() {
+		t.Fatal("codes not distinct")
+	}
+	for _, ic := range res.Satisfied {
+		if !Satisfied(res.Enc, ic.Set) {
+			t.Fatalf("reported-satisfied constraint %s is not", ic.Set)
+		}
+	}
+	if res.WSat == 0 {
+		t.Fatal("greedy satisfied nothing at all")
+	}
+}
+
+func TestIGreedyLargerSpace(t *testing.T) {
+	ics := paperIC(4, 2, 3, 5, 1, 1)
+	res := IGreedy(7, ics, 4)
+	if res.Enc.Bits != 4 || !res.Enc.Distinct() {
+		t.Fatalf("bits=%d distinct=%v", res.Enc.Bits, res.Enc.Distinct())
+	}
+	res3 := IGreedy(7, ics, 3)
+	if res.WSat < res3.WSat {
+		t.Fatalf("more space should not hurt greedy: %d < %d", res.WSat, res3.WSat)
+	}
+}
+
+func TestSatisfiedSemantics(t *testing.T) {
+	// States 0,1 at codes 00,01: face x0... constraint {0,1} spans 0x;
+	// code 10 of state 2 is outside, 11 of state 3 outside: satisfied.
+	e := encoding.Encoding{Bits: 2, Codes: []uint64{0b00, 0b10, 0b01, 0b11}}
+	if !Satisfied(e, constraint.MustFromString("1100")) {
+		t.Fatal("constraint {0,1} should be satisfied")
+	}
+	// {0,3} spans the whole square: unsatisfied.
+	if Satisfied(e, constraint.MustFromString("1001")) {
+		t.Fatal("constraint {0,3} spans everything: unsatisfied")
+	}
+}
+
+func TestOutEncoder(t *testing.T) {
+	// Chain: 2 covers 1, 3 covers 2.
+	oc := []OCEdge{{U: 1, V: 0}, {U: 2, V: 1}}
+	e := OutEncoder(4, oc, 2)
+	if !e.Distinct() {
+		t.Fatal("codes not distinct")
+	}
+	for _, edge := range oc {
+		if !OCSatisfied(e, edge) {
+			t.Fatalf("edge %+v unsatisfied: %s", edge, e)
+		}
+	}
+}
+
+func TestOutEncoderWideDag(t *testing.T) {
+	// State 0 covers everything else: code(0) must be the OR of all.
+	var oc []OCEdge
+	for v := 1; v < 6; v++ {
+		oc = append(oc, OCEdge{U: 0, V: v})
+	}
+	e := OutEncoder(6, oc, 3)
+	for _, edge := range oc {
+		if !OCSatisfied(e, edge) {
+			t.Fatalf("edge %+v unsatisfied: %s", edge, e)
+		}
+	}
+}
+
+func TestIOHybridPaperExample6221(t *testing.T) {
+	// Example 6.2.2.1: 8 states; solution exists in 3 bits.
+	mk := constraint.MustFromString
+	p := IOProblem{
+		N: 8,
+		IC: []constraint.Constraint{
+			{Set: mk("01010101"), Weight: 1},
+			{Set: mk("00110000"), Weight: 1},
+			{Set: mk("00001100"), Weight: 2},
+			{Set: mk("00000011"), Weight: 1},
+			{Set: mk("00110000"), Weight: 3},
+			{Set: mk("00001100"), Weight: 1},
+			{Set: mk("00000011"), Weight: 1},
+		},
+		ICo: []constraint.Constraint{{Set: mk("01010101"), Weight: 1}},
+		Clusters: []Cluster{
+			{State: 0, OC: []OCEdge{{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {6, 0}, {7, 0}}, W: 4},
+			{State: 1, IC: []constraint.Constraint{{Set: mk("00110000"), Weight: 1}}, OC: []OCEdge{{5, 1}}, W: 1},
+			{State: 2, IC: []constraint.Constraint{{Set: mk("00001100"), Weight: 2}}, OC: []OCEdge{{6, 2}}, W: 2},
+			{State: 3, IC: []constraint.Constraint{{Set: mk("00000011"), Weight: 1}}, OC: []OCEdge{{7, 3}}, W: 1},
+			{State: 4, OC: []OCEdge{{5, 4}, {6, 4}, {7, 4}}, W: 1},
+			{State: 5, IC: []constraint.Constraint{{Set: mk("00110000"), Weight: 3}}, W: 3},
+			{State: 6, IC: []constraint.Constraint{{Set: mk("00001100"), Weight: 1}}, W: 1},
+			{State: 7, IC: []constraint.Constraint{{Set: mk("00000011"), Weight: 1}}, W: 1},
+		},
+	}
+	res := IOHybrid(p, 3, HybridOptions{})
+	if res.Enc.Bits != 3 || !res.Enc.Distinct() {
+		t.Fatalf("bits=%d distinct=%v", res.Enc.Bits, res.Enc.Distinct())
+	}
+	// The published solution satisfies all input constraints and all
+	// output edges; our heuristic must at least satisfy all ICs and some
+	// OC weight.
+	if res.WUnsat != 0 {
+		t.Fatalf("input constraints unsatisfied: %v", res.Unsatisfied)
+	}
+	if res.SatisfiedOC == 0 {
+		t.Fatal("no output covering edge satisfied")
+	}
+	// Check the published solution really is a solution to the instance
+	// (sanity of the test fixture itself).
+	pub := encoding.Encoding{Bits: 3, Codes: []uint64{
+		0b000, 0b010, 0b001, 0b011, 0b100, 0b110, 0b101, 0b111,
+	}}
+	for _, ic := range constraint.Normalize(p.IC) {
+		if !Satisfied(pub, ic.Set) {
+			t.Fatalf("published solution violates IC %s", ic.Set)
+		}
+	}
+	for _, cl := range p.Clusters {
+		for _, e := range cl.OC {
+			if !OCSatisfied(pub, e) {
+				t.Fatalf("published solution violates OC %+v", e)
+			}
+		}
+	}
+}
+
+func TestIOVariantRuns(t *testing.T) {
+	mk := constraint.MustFromString
+	p := IOProblem{
+		N: 4,
+		IC: []constraint.Constraint{
+			{Set: mk("1100"), Weight: 2},
+			{Set: mk("0011"), Weight: 1},
+		},
+		Clusters: []Cluster{
+			{State: 0, IC: []constraint.Constraint{{Set: mk("1100"), Weight: 2}}, OC: []OCEdge{{1, 0}}, W: 2},
+			{State: 2, IC: []constraint.Constraint{{Set: mk("0011"), Weight: 1}}, W: 1},
+		},
+	}
+	res := IOVariant(p, 2, HybridOptions{})
+	if !res.Enc.Distinct() {
+		t.Fatal("codes not distinct")
+	}
+}
+
+func TestIOHybridNoIC(t *testing.T) {
+	p := IOProblem{
+		N: 4,
+		Clusters: []Cluster{
+			{State: 0, OC: []OCEdge{{1, 0}, {2, 0}}, W: 2},
+		},
+	}
+	res := IOHybrid(p, 2, HybridOptions{})
+	if !res.Enc.Distinct() {
+		t.Fatal("codes not distinct")
+	}
+	if res.SatisfiedOC != 2 {
+		t.Fatalf("out_encoder satisfied %d/2 edges", res.SatisfiedOC)
+	}
+}
+
+func TestRandomEncodingDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		e := RandomEncoding(n, MinLength(n), rng)
+		if !e.Distinct() {
+			t.Fatalf("n=%d: duplicate codes", n)
+		}
+	}
+}
+
+func TestMinLength(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 121: 7}
+	for n, want := range cases {
+		if got := MinLength(n); got != want {
+			t.Fatalf("MinLength(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSpannedFace(t *testing.T) {
+	e := encoding.Encoding{Bits: 4, Codes: []uint64{0b0000, 0b1010, 0b1000, 0b1100}}
+	f := SpannedFace(e, constraint.MustFromString("0110"))
+	// codes 1010 and 1000 differ in bit 1: face 10x0 in bit-0-first terms.
+	if f.Level() != 1 || !f.HasVertex(0b1010) || !f.HasVertex(0b1000) || f.HasVertex(0b0000) {
+		t.Fatalf("spanned face wrong: %s", f)
+	}
+}

@@ -1,0 +1,121 @@
+package encode
+
+import (
+	"math/rand"
+
+	"nova/internal/constraint"
+	"nova/internal/encoding"
+	"nova/internal/face"
+)
+
+// SpannedFace returns the smallest face containing the codes of the members
+// of set s under encoding e (the face the constraint's multiple-valued
+// literal translates to in the encoded PLA).
+func SpannedFace(e encoding.Encoding, s constraint.Set) face.Face {
+	var and, or uint64
+	first := true
+	for _, m := range s.Members() {
+		c := e.Codes[m]
+		if first {
+			and, or = c, c
+			first = false
+			continue
+		}
+		and &= c
+		or |= c
+	}
+	x := and ^ or
+	return face.Face{Val: and &^ x, X: x, K: e.Bits}
+}
+
+// Satisfied reports whether encoding e satisfies input constraint s: the
+// face spanned by the member codes contains the code of no non-member.
+func Satisfied(e encoding.Encoding, s constraint.Set) bool {
+	f := SpannedFace(e, s)
+	for i := 0; i < s.N(); i++ {
+		if s.Has(i) {
+			continue
+		}
+		if f.HasVertex(e.Codes[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// OCSatisfied reports whether e satisfies the output covering edge: the
+// code of U covers the code of V bitwise and differs from it.
+func OCSatisfied(e encoding.Encoding, edge OCEdge) bool {
+	cu, cv := e.Codes[edge.U], e.Codes[edge.V]
+	return cv&^cu == 0 && cu != cv
+}
+
+// Result reports the outcome of an encoding algorithm on one symbolic
+// variable.
+type Result struct {
+	Enc encoding.Encoding
+	// Satisfied and Unsatisfied partition the (normalized) input
+	// constraints according to the final encoding.
+	Satisfied, Unsatisfied []constraint.Constraint
+	// WSat and WUnsat are the corresponding total weights.
+	WSat, WUnsat int
+	// SatisfiedOC counts satisfied output covering edges (iohybrid only).
+	SatisfiedOC, TotalOC int
+	// Work is the number of face-assignment attempts spent.
+	Work int
+	// GaveUp is set when a work budget fired before the search space was
+	// exhausted (the result may be feasible but unproven).
+	GaveUp bool
+	// Proven is set by IExact when the returned encoding length is a
+	// proven minimum: no smaller dimension's search was cut short by the
+	// work budget.
+	Proven bool
+}
+
+// score fills the satisfaction fields of a Result from the encoding.
+func score(r *Result, ics []constraint.Constraint) {
+	r.Satisfied, r.Unsatisfied = nil, nil
+	r.WSat, r.WUnsat = 0, 0
+	for _, ic := range ics {
+		if Satisfied(r.Enc, ic.Set) {
+			r.Satisfied = append(r.Satisfied, ic)
+			r.WSat += ic.Weight
+		} else {
+			r.Unsatisfied = append(r.Unsatisfied, ic)
+			r.WUnsat += ic.Weight
+		}
+	}
+}
+
+// MinLength returns the minimum encoding length for n symbols:
+// ceil(log2 n), at least 1.
+func MinLength(n int) int {
+	b, p := 0, 1
+	for p < n {
+		p <<= 1
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// RandomEncoding returns a random injective encoding of n symbols in the
+// given number of bits, drawn from rng.
+func RandomEncoding(n, bits int, rng *rand.Rand) encoding.Encoding {
+	e := encoding.New(n, bits)
+	space := 1 << uint(bits)
+	if bits >= 31 || space < n {
+		// Degenerate widths: fall back to sequential codes.
+		for i := range e.Codes {
+			e.Codes[i] = uint64(i)
+		}
+		return e
+	}
+	perm := rng.Perm(space)
+	for i := 0; i < n; i++ {
+		e.Codes[i] = uint64(perm[i])
+	}
+	return e
+}

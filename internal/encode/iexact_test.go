@@ -1,0 +1,120 @@
+package encode
+
+import (
+	"testing"
+
+	"nova/internal/constraint"
+)
+
+func TestSlackVectorsOrderAndCompleteness(t *testing.T) {
+	lo := []int{1, 1}
+	hi := []int{3, 3}
+	vecs, truncated := slackVectors(lo, hi, 1000)
+	if truncated {
+		t.Fatal("tiny space must not truncate")
+	}
+	if len(vecs) != 9 {
+		t.Fatalf("got %d vectors, want 9", len(vecs))
+	}
+	slack := func(v []int) int { return v[0] - 1 + v[1] - 1 }
+	for i := 1; i < len(vecs); i++ {
+		if slack(vecs[i-1]) > slack(vecs[i]) {
+			t.Fatalf("slack not nondecreasing: %v", vecs)
+		}
+	}
+	if vecs[0][0] != 1 || vecs[0][1] != 1 {
+		t.Fatalf("first vector %v, want minimum levels", vecs[0])
+	}
+	// Balanced-first within a tier: slack 2 must start with (2,2).
+	for i, v := range vecs {
+		if slack(v) == 2 {
+			if v[0] != 2 || v[1] != 2 {
+				t.Fatalf("slack-2 tier starts with %v at %d, want (2,2)", v, i)
+			}
+			break
+		}
+	}
+	// No duplicates.
+	seen := map[[2]int]bool{}
+	for _, v := range vecs {
+		k := [2]int{v[0], v[1]}
+		if seen[k] {
+			t.Fatalf("duplicate vector %v", v)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSlackVectorsTruncation(t *testing.T) {
+	lo := []int{0, 0, 0, 0, 0}
+	hi := []int{4, 4, 4, 4, 4}
+	vecs, truncated := slackVectors(lo, hi, 10)
+	if !truncated {
+		t.Fatal("expected truncation")
+	}
+	if len(vecs) != 10 {
+		t.Fatalf("got %d vectors, want 10", len(vecs))
+	}
+}
+
+func TestSlackVectorsEmpty(t *testing.T) {
+	vecs, truncated := slackVectors(nil, nil, 10)
+	if truncated || len(vecs) != 1 || len(vecs[0]) != 0 {
+		t.Fatalf("empty instance: %v %v", vecs, truncated)
+	}
+}
+
+func TestIExactProvenOnEasyInstance(t *testing.T) {
+	// The paper instance completes exhaustively: minimality is proven.
+	res := IExact(7, paperIC(), ExactOptions{})
+	if res.GaveUp || !res.Proven {
+		t.Fatalf("gaveUp=%v proven=%v", res.GaveUp, res.Proven)
+	}
+	if res.Enc.Bits != 4 {
+		t.Fatalf("bits = %d", res.Enc.Bits)
+	}
+}
+
+func TestIExactConstructiveFallback(t *testing.T) {
+	// A dense instance under a starvation budget: the constructive upper
+	// bound must be returned, satisfying everything, unproven.
+	var ics []constraint.Constraint
+	for _, v := range []string{"1101", "1011", "0111", "1100", "1010", "0110", "0101", "0011"} {
+		ics = append(ics, constraint.Constraint{Set: constraint.MustFromString(v), Weight: 1})
+	}
+	res := IExact(4, ics, ExactOptions{MaxWork: 50})
+	if res.GaveUp {
+		t.Fatal("constructive fallback missing")
+	}
+	if len(res.Unsatisfied) != 0 {
+		t.Fatalf("fallback left %v unsatisfied", res.Unsatisfied)
+	}
+	if res.Proven {
+		t.Fatal("a starved search cannot prove minimality")
+	}
+	// With a real budget the same instance completes at 4 bits.
+	full := IExact(4, ics, ExactOptions{MaxWork: 2_000_000})
+	if full.GaveUp || full.Enc.Bits > res.Enc.Bits {
+		t.Fatalf("full search worse than fallback: %d > %d", full.Enc.Bits, res.Enc.Bits)
+	}
+	checkAllSatisfied(t, full.Enc, ics)
+}
+
+func TestIExactSemanticConditions(t *testing.T) {
+	// The triangle instance of three mutually overlapping pairs: a
+	// semantic solution exists at 3 bits (codes 000, 011, 101 span
+	// pairwise faces excluding the third).
+	ics := []constraint.Constraint{
+		{Set: constraint.MustFromString("110"), Weight: 1},
+		{Set: constraint.MustFromString("011"), Weight: 1},
+		{Set: constraint.MustFromString("101"), Weight: 1},
+	}
+	res := IExact(3, ics, ExactOptions{})
+	if res.GaveUp {
+		t.Fatal("gave up")
+	}
+	checkAllSatisfied(t, res.Enc, ics)
+	if res.Enc.Bits != 3 {
+		t.Fatalf("bits = %d, want 3", res.Enc.Bits)
+	}
+}

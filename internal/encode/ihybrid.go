@@ -1,0 +1,184 @@
+package encode
+
+import (
+	"math/rand"
+	"sort"
+
+	"nova/internal/constraint"
+	"nova/internal/encoding"
+)
+
+// HybridOptions tunes ihybrid_code / iohybrid_code.
+type HybridOptions struct {
+	// MaxWork is the paper's max_work bound on the number of partial
+	// encoding assignments tried per semiexact_code call; 0 means 40,000.
+	MaxWork int
+	// Seed drives the random fallback encoding of the pathological case
+	// where every semiexact call fails.
+	Seed int64
+}
+
+func (o *HybridOptions) defaults() {
+	if o.MaxWork <= 0 {
+		o.MaxWork = 40_000
+	}
+}
+
+// semiexact runs semiexact_code (Section 4.1): pos_equiv on the given
+// constraint set, restricted to minimum-level faces for the primary
+// constraints and bounded by max_work. It returns the found encoding and
+// whether all the given constraints were satisfied.
+func semiexact(n int, sic []constraint.Constraint, cubeDim, maxWork int, oc []OCEdge) (encoding.Encoding, bool, int) {
+	g := constraint.BuildGraph(n, sic)
+	s := newSearcher(g, cubeDim)
+	s.allLevels = false
+	s.maxWork = maxWork
+	s.oc = oc
+	if s.solve(nil) {
+		return s.extract(), true, s.work
+	}
+	return encoding.Encoding{}, false, s.work
+}
+
+// IHybrid implements ihybrid_code (Section IV): maximize the total weight
+// of satisfied input constraints on the minimum code length by a greedy
+// cycle of bounded semiexact_code calls, then raise the encoding length up
+// to bits with project_code, which satisfies at least one more constraint
+// per added dimension. bits <= 0 selects the minimum length (no projection
+// phase); bits larger than the minimum enables projection.
+func IHybrid(n int, ics []constraint.Constraint, bits int, opt HybridOptions) Result {
+	opt.defaults()
+	ics = constraint.Normalize(ics)
+	cubeDim := MinLength(n)
+	if bits <= 0 {
+		bits = cubeDim
+	}
+	var res Result
+
+	var sic, ric []constraint.Constraint
+	var enc encoding.Encoding
+	have := false
+	for _, ic := range ics { // ics is sorted by decreasing weight
+		e, ok, w := semiexact(n, append(append([]constraint.Constraint(nil), sic...), ic), cubeDim, opt.MaxWork, nil)
+		res.Work += w
+		if ok {
+			enc, have = e, true
+			sic = append(sic, ic)
+		} else {
+			ric = append(ric, ic)
+		}
+	}
+	if !have {
+		// Rare pathological situation: even a single constraint failed.
+		// Start from a random encoding so project_code can work.
+		rng := rand.New(rand.NewSource(opt.Seed + 1))
+		enc = RandomEncoding(n, cubeDim, rng)
+		if len(ics) == 0 {
+			// No constraints at all: natural binary codes.
+			for i := range enc.Codes {
+				enc.Codes[i] = uint64(i)
+			}
+		}
+	}
+	for len(ric) > 0 && cubeDim < bits {
+		cubeDim++
+		enc, sic, ric = projectCode(enc, sic, ric, cubeDim)
+	}
+	res.Enc = enc
+	score(&res, ics)
+	return res
+}
+
+// projectCode implements project_code (Section 4.2): add one dimension and
+// raise into it the states of the highest-weight unsatisfied constraint
+// (guaranteeing its satisfaction by Proposition 4.2.1, while preserving
+// every satisfied constraint), preferring raise sets that also satisfy
+// further unsatisfied constraints — states occurring often in unsatisfied
+// constraints are raised first.
+func projectCode(enc encoding.Encoding, sic, ric []constraint.Constraint, newBits int) (encoding.Encoding, []constraint.Constraint, []constraint.Constraint) {
+	if len(ric) == 0 {
+		return pad(enc, nil, newBits), sic, ric
+	}
+	n := enc.Len()
+	// Candidate order: decreasing weight (Normalize's order is kept).
+	target := ric[0]
+	raise := make([]bool, n)
+	for _, m := range target.Set.Members() {
+		raise[m] = true
+	}
+	check := func(r []bool) (bad bool, extra int) {
+		e := pad(enc, r, newBits)
+		for _, c := range sic {
+			if !Satisfied(e, c.Set) {
+				return true, 0
+			}
+		}
+		if !Satisfied(e, target.Set) {
+			return true, 0
+		}
+		for _, c := range ric[1:] {
+			if Satisfied(e, c.Set) {
+				extra++
+			}
+		}
+		return false, extra
+	}
+	_, bestExtra := check(raise)
+	// Greedy improvement: try to fold in further unsatisfied constraints,
+	// most frequent states first.
+	freq := make([]int, n)
+	for _, c := range ric {
+		for _, m := range c.Set.Members() {
+			freq[m]++
+		}
+	}
+	order := make([]int, 0, len(ric)-1)
+	for i := 1; i < len(ric); i++ {
+		order = append(order, i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		fa, fb := 0, 0
+		for _, m := range ric[order[a]].Set.Members() {
+			fa += freq[m]
+		}
+		for _, m := range ric[order[b]].Set.Members() {
+			fb += freq[m]
+		}
+		return fa > fb
+	})
+	for _, i := range order {
+		trial := append([]bool(nil), raise...)
+		for _, m := range ric[i].Set.Members() {
+			trial[m] = true
+		}
+		if bad, extra := check(trial); !bad && extra > bestExtra {
+			raise, bestExtra = trial, extra
+		}
+	}
+	e := pad(enc, raise, newBits)
+	var nsic, nric []constraint.Constraint
+	nsic = append(nsic, sic...)
+	for _, c := range ric {
+		if Satisfied(e, c.Set) {
+			nsic = append(nsic, c)
+		} else {
+			nric = append(nric, c)
+		}
+	}
+	return e, nsic, nric
+}
+
+// pad widens enc to newBits bits, setting the new top bit for the states
+// with raise[i] true (raise may be nil).
+func pad(enc encoding.Encoding, raise []bool, newBits int) encoding.Encoding {
+	e := encoding.New(enc.Len(), newBits)
+	copy(e.Codes, enc.Codes)
+	if raise != nil {
+		for i := range e.Codes {
+			if raise[i] {
+				e.Codes[i] |= 1 << uint(newBits-1)
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,153 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+
+	"nova/internal/constraint"
+)
+
+// randomInstance draws a random constraint instance over n symbols.
+func randomInstance(rng *rand.Rand, n, m int) []constraint.Constraint {
+	var ics []constraint.Constraint
+	for i := 0; i < m; i++ {
+		s := constraint.NewSet(n)
+		card := 2 + rng.Intn(n-1)
+		perm := rng.Perm(n)
+		for _, x := range perm[:card] {
+			s.Add(x)
+		}
+		ics = append(ics, constraint.Constraint{Set: s, Weight: 1 + rng.Intn(5)})
+	}
+	return ics
+}
+
+// Property: on random instances every algorithm returns distinct codes and
+// reports satisfaction truthfully.
+func TestAlgorithmsReportTruthfully(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		ics := randomInstance(rng, n, 1+rng.Intn(6))
+		check := func(name string, r Result) {
+			t.Helper()
+			if !r.Enc.Distinct() {
+				t.Fatalf("trial %d %s: duplicate codes", trial, name)
+			}
+			for _, ic := range r.Satisfied {
+				if !Satisfied(r.Enc, ic.Set) {
+					t.Fatalf("trial %d %s: claims %s satisfied, is not", trial, name, ic.Set)
+				}
+			}
+			for _, ic := range r.Unsatisfied {
+				if Satisfied(r.Enc, ic.Set) {
+					t.Fatalf("trial %d %s: claims %s unsatisfied, is satisfied", trial, name, ic.Set)
+				}
+			}
+			norm := constraint.Normalize(ics)
+			if r.WSat+r.WUnsat != constraint.TotalWeight(norm) {
+				t.Fatalf("trial %d %s: weights %d+%d != %d", trial, name, r.WSat, r.WUnsat, constraint.TotalWeight(norm))
+			}
+		}
+		check("ihybrid", IHybrid(n, ics, 0, HybridOptions{}))
+		check("igreedy", IGreedy(n, ics, 0))
+		check("satisfyall", SatisfyAll(n, ics))
+	}
+}
+
+// Property: iexact, when it completes, satisfies everything with a length
+// no larger than SatisfyAll needed and no smaller than the minimum.
+func TestIExactOptimalityEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(5)
+		ics := randomInstance(rng, n, 1+rng.Intn(4))
+		ex := IExact(n, ics, ExactOptions{MaxWork: 400_000})
+		if ex.GaveUp {
+			continue
+		}
+		if len(ex.Unsatisfied) != 0 {
+			t.Fatalf("trial %d: iexact left %v unsatisfied", trial, ex.Unsatisfied)
+		}
+		if ex.Enc.Bits < MinLength(n) {
+			t.Fatalf("trial %d: bits %d below minimum", trial, ex.Enc.Bits)
+		}
+		all := SatisfyAll(n, ics)
+		if ex.Enc.Bits > all.Enc.Bits {
+			t.Fatalf("trial %d: exact length %d above the projection heuristic's %d",
+				trial, ex.Enc.Bits, all.Enc.Bits)
+		}
+	}
+}
+
+// Property: SatisfyAll always satisfies every constraint.
+func TestSatisfyAllTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(10)
+		ics := randomInstance(rng, n, 1+rng.Intn(8))
+		r := SatisfyAll(n, ics)
+		if len(r.Unsatisfied) != 0 {
+			t.Fatalf("trial %d: unsatisfied %v", trial, r.Unsatisfied)
+		}
+		if !r.Enc.Distinct() {
+			t.Fatalf("trial %d: duplicate codes", trial)
+		}
+	}
+}
+
+// Property: giving ihybrid more bits never lowers the satisfied weight.
+func TestIHybridMonotoneInBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(6)
+		ics := randomInstance(rng, n, 2+rng.Intn(5))
+		prev := -1
+		for bits := MinLength(n); bits <= MinLength(n)+3; bits++ {
+			r := IHybrid(n, ics, bits, HybridOptions{})
+			if r.WSat < prev {
+				t.Fatalf("trial %d: wsat dropped from %d to %d at %d bits", trial, prev, r.WSat, bits)
+			}
+			prev = r.WSat
+		}
+	}
+}
+
+// Property: the one-hot-like guarantee — projection to n bits satisfies
+// every instance (Proposition 4.2.1 iterated).
+func TestProjectionConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(7)
+		ics := randomInstance(rng, n, 2+rng.Intn(6))
+		r := IHybrid(n, ics, n+len(ics), HybridOptions{})
+		if len(r.Unsatisfied) != 0 {
+			t.Fatalf("trial %d: projection did not converge: %v", trial, r.Unsatisfied)
+		}
+	}
+}
+
+// Property: OutEncoder satisfies every acyclic covering instance.
+func TestOutEncoderRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		var oc []OCEdge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(4) == 0 {
+					oc = append(oc, OCEdge{U: u, V: v}) // u > v keeps it acyclic
+				}
+			}
+		}
+		e := OutEncoder(n, oc, 0)
+		if !e.Distinct() {
+			t.Fatalf("trial %d: duplicate codes", trial)
+		}
+		for _, edge := range oc {
+			if !OCSatisfied(e, edge) {
+				t.Fatalf("trial %d: edge %+v unsatisfied in %s", trial, edge, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package encode
+
+import (
+	"nova/internal/constraint"
+	"nova/internal/encoding"
+)
+
+// SatisfyAll returns an encoding satisfying every input constraint, in the
+// manner of KISS [9]: it starts from the natural codes at the minimum
+// length and repeatedly applies the dimension-raising projection step
+// (Proposition 4.2.1), which satisfies at least one more constraint per
+// added dimension. Like KISS it guarantees complete satisfaction by a
+// heuristic that does not always achieve the minimum necessary length —
+// no bounded-backtracking stage is run at the minimum length, so the
+// resulting lengths are generally longer than ihybrid's.
+func SatisfyAll(n int, ics []constraint.Constraint) Result {
+	ics = constraint.Normalize(ics)
+	bits := MinLength(n)
+	enc := encoding.New(n, bits)
+	for i := range enc.Codes {
+		enc.Codes[i] = uint64(i)
+	}
+	var sic, ric []constraint.Constraint
+	for _, ic := range ics {
+		if Satisfied(enc, ic.Set) {
+			sic = append(sic, ic)
+		} else {
+			ric = append(ric, ic)
+		}
+	}
+	for len(ric) > 0 {
+		bits++
+		enc, sic, ric = projectCode(enc, sic, ric, bits)
+	}
+	var res Result
+	res.Enc = enc
+	score(&res, ics)
+	return res
+}

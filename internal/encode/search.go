@@ -1,0 +1,610 @@
+// Package encode implements NOVA's encoding algorithms: the exact face
+// hypercube embedding iexact_code (Section III), the bounded-backtracking
+// semiexact_code and the projection coding project_code combined in
+// ihybrid_code (Section IV), the fast igreedy_code (Section V), and the
+// input/output constraint satisfaction algorithms iohybrid_code,
+// iovariant_code and out_encoder built on symbolic minimization
+// (Section VI).
+package encode
+
+import (
+	"errors"
+
+	"nova/internal/constraint"
+	"nova/internal/encoding"
+	"nova/internal/face"
+)
+
+// ErrBudget is returned when a search exceeds its work bound rather than
+// proving infeasibility.
+var ErrBudget = errors.New("encode: work budget exhausted")
+
+// OCEdge is an output covering constraint: the code of U must cover the
+// code of V bitwise, and differ from it (edge (u,v) of the symbolic
+// minimization graph G).
+type OCEdge struct{ U, V int }
+
+// faceKey identifies a face for injectivity checks.
+type faceKey struct{ val, x uint64 }
+
+func keyOf(f face.Face) faceKey { return faceKey{f.Val &^ f.X, f.X} }
+
+// searcher holds the state of one pos_equiv run: the input graph, the cube
+// dimension, the chosen levels of the primary constraints, the incremental
+// assignment with its undo trail, and the work accounting.
+type searcher struct {
+	g *constraint.Graph
+	k int
+
+	// level of the face to use per cat-1 non-singleton node (the primary
+	// level vector); nil selects the minimum feasible level everywhere.
+	levels map[*constraint.Node]int
+
+	// allLevels lets cat-3 constraints range over every feasible level
+	// (true for iexact); false restricts them to the minimum level
+	// (semiexact).
+	allLevels bool
+
+	maxWork int // 0 = unbounded
+	work    int
+	budget  bool // set when the work bound fired
+
+	assigned map[*constraint.Node]face.Face
+	used     map[faceKey]*constraint.Node
+
+	oc         []OCEdge
+	singletons []*constraint.Node // per symbol
+}
+
+func newSearcher(g *constraint.Graph, k int) *searcher {
+	s := &searcher{
+		g:        g,
+		k:        k,
+		assigned: map[*constraint.Node]face.Face{},
+		used:     map[faceKey]*constraint.Node{},
+	}
+	s.singletons = make([]*constraint.Node, g.N)
+	for _, nd := range g.Nodes {
+		if nd.Set.Card() == 1 {
+			s.singletons[nd.Set.Members()[0]] = nd
+		}
+	}
+	// The universe is pre-assigned the full face.
+	s.assign(g.Universe, face.Full(k))
+	return s
+}
+
+// minLevel returns ceil(log2(card(nd))), the minimum feasible face level.
+func minLevel(nd *constraint.Node) int {
+	c := nd.Set.Card()
+	l, p := 0, 1
+	for p < c {
+		p <<= 1
+		l++
+	}
+	return l
+}
+
+// assign records nd -> f without verification.
+func (s *searcher) assign(nd *constraint.Node, f face.Face) {
+	s.assigned[nd] = f
+	s.used[keyOf(f)] = nd
+}
+
+func (s *searcher) unassign(nd *constraint.Node) {
+	f, ok := s.assigned[nd]
+	if !ok {
+		return
+	}
+	delete(s.assigned, nd)
+	delete(s.used, keyOf(f))
+}
+
+// verify implements the incremental correctness checks of Section 3.4.3
+// for a face f proposed for nd, against every assigned node:
+//
+//	input poset:  the single father's face must include f (guaranteed by
+//	              construction for categories 1 and 3: candidates are
+//	              generated inside the father's face); category-2 faces are
+//	              the exact intersection of their fathers' faces (place).
+//	face poset:   (1) injectivity; (2) face inclusion implies proper set
+//	              inclusion, both directions; (3) faces that intersect must
+//	              have intersecting constraints.
+//
+// plus the cardinality condition #(ic) <= #(f(ic)) and the output covering
+// relations for iohybrid.
+func (s *searcher) verify(nd *constraint.Node, f face.Face) bool {
+	s.work++
+	if s.maxWork > 0 && s.work > s.maxWork {
+		s.budget = true
+		return false
+	}
+	return s.checkFace(nd, f)
+}
+
+// checkFace is verify's condition check without the work accounting (the
+// forward check probes many faces and must not burn budget or set the
+// budget flag).
+func (s *searcher) checkFace(nd *constraint.Node, f face.Face) bool {
+	if f.Cardinality() < nd.Set.Card() {
+		return false
+	}
+	// Injectivity. (Two different constraints sharing a face always break
+	// the final encoding — some differing member's code would sit in a
+	// face whose constraint excludes it — so rejecting early is sound.)
+	if _, dup := s.used[keyOf(f)]; dup {
+		return false
+	}
+	ndSingle := nd.Set.Card() == 1
+	for jc, g := range s.assigned {
+		jcSingle := jc.Set.Card() == 1
+		// The defining condition of FACE HYPERCUBE EMBEDDING relates
+		// constraint faces to state codes: f(ic) ∩ f(s) ≠ Φ ⇔ s ∈ ic.
+		// Between two non-singleton faces no relation is required — the
+		// auxiliary closure faces may overlap as long as the eventually
+		// placed codes respect every original constraint, which the
+		// singleton checks below enforce.
+		if !ndSingle && !jcSingle {
+			continue
+		}
+		x := nd.Set.Intersect(jc.Set)
+		_, nonempty := f.Intersect(g)
+		if x.IsEmpty() {
+			if nonempty {
+				return false
+			}
+			continue
+		}
+		// A singleton inside a constraint must lie inside its face: the
+		// father-chain generation guarantees it for ancestors, and for
+		// non-ancestors membership still requires the vertex inside.
+		if ndSingle && !jcSingle && nd.Set.SubsetOf(jc.Set) && !nonempty {
+			return false
+		}
+		if jcSingle && !ndSingle && jc.Set.SubsetOf(nd.Set) && !nonempty {
+			return false
+		}
+	}
+	// Output covering constraints between encoded singletons. Codes are
+	// the Val vertices of the singleton faces.
+	if len(s.oc) > 0 && !s.ocOK(nd, f) {
+		return false
+	}
+	return true
+}
+
+// ocOK checks the active output covering edges assuming nd gets face f.
+func (s *searcher) ocOK(nd *constraint.Node, f face.Face) bool {
+	codeOf := func(sym int) (uint64, bool) {
+		sg := s.singletons[sym]
+		if sg == nd {
+			return f.Val, true
+		}
+		if fc, ok := s.assigned[sg]; ok {
+			return fc.Val, true
+		}
+		return 0, false
+	}
+	if nd.Set.Card() != 1 {
+		return true
+	}
+	for _, e := range s.oc {
+		cu, okU := codeOf(e.U)
+		cv, okV := codeOf(e.V)
+		if !okU || !okV {
+			continue
+		}
+		if cv&^cu != 0 || cu == cv {
+			return false
+		}
+	}
+	return true
+}
+
+// trail records one assignment step for undo: the selected node plus the
+// forced category-2 nodes assigned alongside it.
+type trail struct {
+	nodes []*constraint.Node
+}
+
+func (s *searcher) undo(t trail) {
+	for _, nd := range t.nodes {
+		s.unassign(nd)
+	}
+}
+
+// place assigns f to nd after verification, then propagates forced
+// category-2 assignments to fixpoint. It returns the undo trail and true,
+// or an empty trail and false when any step fails (the partial work is
+// rolled back).
+func (s *searcher) place(nd *constraint.Node, f face.Face) (trail, bool) {
+	var t trail
+	if !s.verify(nd, f) {
+		return trail{}, false
+	}
+	s.assign(nd, f)
+	t.nodes = append(t.nodes, nd)
+	// Forced assignments: any unassigned non-singleton cat-2 node whose
+	// fathers are all assigned receives the intersection of its fathers'
+	// faces (D(ic) of assign_face, taken to fixpoint). Singletons are not
+	// forced: they are selected and enumerated as vertices inside their
+	// fathers' intersection, so the backtracking can revisit the choice.
+	for {
+		var next *constraint.Node
+		for _, cand := range s.g.Nodes {
+			if _, as := s.assigned[cand]; as || cand.Cat() != constraint.Cat2 || cand.Set.Card() == 1 {
+				continue
+			}
+			ready := true
+			for _, fa := range cand.Fathers {
+				if _, as := s.assigned[fa]; !as {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				next = cand
+				break
+			}
+		}
+		if next == nil {
+			break
+		}
+		fi := s.assigned[next.Fathers[0]]
+		okI := true
+		for _, fa := range next.Fathers[1:] {
+			fi, okI = fi.Intersect(s.assigned[fa])
+			if !okI {
+				break
+			}
+		}
+		if !okI {
+			s.undo(t)
+			return trail{}, false
+		}
+		if !s.verify(next, fi) {
+			s.undo(t)
+			return trail{}, false
+		}
+		s.assign(next, fi)
+		t.nodes = append(t.nodes, next)
+	}
+	// Forward check: every unassigned singleton whose fathers are all
+	// assigned must still have at least one feasible vertex; otherwise
+	// this branch is dead and pruning now avoids deep thrashing. Probing
+	// is bounded: singletons whose fathers' intersection spans more than
+	// 2^forwardCheckMaxLevel vertices are skipped (plenty of room there,
+	// and enumerating the vertices would dominate the search).
+	const forwardCheckMaxLevel = 6
+	for _, sg := range s.singletons {
+		if sg == nil {
+			continue
+		}
+		if _, as := s.assigned[sg]; as {
+			continue
+		}
+		fi, ready := face.Full(s.k), true
+		for _, fa := range sg.Fathers {
+			ff, as := s.assigned[fa]
+			if !as {
+				ready = false
+				break
+			}
+			var ok bool
+			fi, ok = fi.Intersect(ff)
+			if !ok {
+				// All fathers assigned with an empty intersection: the
+				// singleton has nowhere to go.
+				s.undo(t)
+				return trail{}, false
+			}
+		}
+		if !ready || fi.Level() > forwardCheckMaxLevel {
+			continue
+		}
+		feasible := false
+		stop := false
+		fi.Vertices(func(v uint64) {
+			if stop {
+				return
+			}
+			if s.checkFace(sg, face.Vertex(s.k, v)) {
+				feasible = true
+				stop = true
+			}
+		})
+		if !feasible {
+			s.undo(t)
+			return trail{}, false
+		}
+	}
+	return t, true
+}
+
+// selectable reports whether nd can be chosen by next_to_code now:
+// categories 1 and 3 with an assigned father, plus singletons of category
+// 2 once every father is assigned (they are enumerated as vertices of the
+// fathers' intersection rather than forced).
+func (s *searcher) selectable(nd *constraint.Node) bool {
+	if _, as := s.assigned[nd]; as {
+		return false
+	}
+	switch nd.Cat() {
+	case constraint.Cat1:
+		return true
+	case constraint.Cat3:
+		_, as := s.assigned[nd.Fathers[0]]
+		return as
+	case constraint.Cat2:
+		if nd.Set.Card() != 1 {
+			return false
+		}
+		for _, fa := range nd.Fathers {
+			if _, as := s.assigned[fa]; !as {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// feasibleLevels returns the candidate face levels for nd, best (largest)
+// first, respecting the primary level vector for cat-1 constraints and the
+// father's face for cat-3 constraints.
+func (s *searcher) feasibleLevels(nd *constraint.Node) []int {
+	if nd.Set.Card() == 1 {
+		return []int{0} // states take vertices
+	}
+	ml := minLevel(nd)
+	switch nd.Cat() {
+	case constraint.Cat1:
+		if s.levels != nil {
+			if l, ok := s.levels[nd]; ok {
+				return []int{l}
+			}
+		}
+		return []int{ml}
+	case constraint.Cat3:
+		fl := s.assigned[nd.Fathers[0]].Level()
+		if !s.allLevels {
+			if ml <= fl-1 {
+				return []int{ml}
+			}
+			return nil
+		}
+		var out []int
+		for l := ml; l <= fl-1; l++ {
+			out = append(out, l)
+		}
+		return out
+	}
+	return nil
+}
+
+// shares reports whether two nodes share a child.
+func shares(a, b *constraint.Node) bool {
+	for _, ca := range a.Children {
+		for _, cb := range b.Children {
+			if ca == cb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nextToCode implements the priority branching scheme of Section 3.4.1,
+// with lic the most recently selected node (nil at the start, in which
+// case the cat-1 node of largest minimum level is taken).
+func (s *searcher) nextToCode(lic *constraint.Node) *constraint.Node {
+	var cands []*constraint.Node
+	for _, nd := range s.g.Nodes {
+		if s.selectable(nd) {
+			cands = append(cands, nd)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	maxFeasible := func(nd *constraint.Node) int {
+		ls := s.feasibleLevels(nd)
+		if len(ls) == 0 {
+			return -1
+		}
+		best := ls[0]
+		for _, l := range ls {
+			if l > best {
+				best = l
+			}
+		}
+		return best
+	}
+	if lic == nil {
+		best := cands[0]
+		for _, nd := range cands[1:] {
+			if maxFeasible(nd) > maxFeasible(best) {
+				best = nd
+			}
+		}
+		return best
+	}
+	cur := s.assigned[lic].Level()
+	canLevel := func(nd *constraint.Node, l int) bool {
+		for _, fl := range s.feasibleLevels(nd) {
+			if fl == l {
+				return true
+			}
+		}
+		return false
+	}
+	// Branches 1-4: same level as f(lic).
+	type pred func(nd *constraint.Node) bool
+	branches := []pred{
+		func(nd *constraint.Node) bool {
+			return nd.Cat() == constraint.Cat1 && canLevel(nd, cur) && shares(nd, lic)
+		},
+		func(nd *constraint.Node) bool { return nd.Cat() == constraint.Cat1 && canLevel(nd, cur) },
+		func(nd *constraint.Node) bool { return canLevel(nd, cur) && shares(nd, lic) },
+		func(nd *constraint.Node) bool { return canLevel(nd, cur) },
+	}
+	for _, br := range branches {
+		for _, nd := range cands {
+			if br(nd) {
+				return nd
+			}
+		}
+	}
+	// Branches 5-6: maximum level below f(lic)'s, cat-1 first.
+	pick := func(cat1Only bool) *constraint.Node {
+		var best *constraint.Node
+		bestL := -1
+		for _, nd := range cands {
+			if cat1Only && nd.Cat() != constraint.Cat1 {
+				continue
+			}
+			for _, l := range s.feasibleLevels(nd) {
+				if l < cur && l > bestL {
+					best, bestL = nd, l
+				}
+			}
+		}
+		return best
+	}
+	if nd := pick(true); nd != nil {
+		return nd
+	}
+	if nd := pick(false); nd != nil {
+		return nd
+	}
+	// Fall back: any selectable node (levels above the current one).
+	return cands[0]
+}
+
+// candidates enumerates the faces to try for nd, in the paper's genface
+// order (x-patterns lexicographic, then values). Category-3 faces are
+// generated inside the father's face; singletons are vertices of the
+// intersection of their assigned fathers' faces.
+func (s *searcher) candidates(nd *constraint.Node, emit func(face.Face) bool) {
+	if nd.Set.Card() == 1 {
+		// Intersection of all assigned fathers' faces (the universe face
+		// for category 1).
+		fi := s.assigned[nd.Fathers[0]]
+		ok := true
+		for _, fa := range nd.Fathers[1:] {
+			if fa2, as := s.assigned[fa]; as {
+				fi, ok = fi.Intersect(fa2)
+				if !ok {
+					return
+				}
+			}
+		}
+		stop := false
+		fi.Vertices(func(v uint64) {
+			if stop {
+				return
+			}
+			if !emit(face.Vertex(s.k, v)) {
+				stop = true
+			}
+		})
+		return
+	}
+	switch nd.Cat() {
+	case constraint.Cat1:
+		for _, l := range s.feasibleLevels(nd) {
+			g := face.NewGen(s.k, l)
+			for f, ok := g.Next(); ok; f, ok = g.Next() {
+				if !emit(f) {
+					return
+				}
+			}
+		}
+	case constraint.Cat3:
+		ff := s.assigned[nd.Fathers[0]]
+		// Free coordinate positions of the father's face.
+		var free []int
+		for i := 0; i < s.k; i++ {
+			if ff.X&(1<<uint(i)) != 0 {
+				free = append(free, i)
+			}
+		}
+		m := len(free)
+		for _, l := range s.feasibleLevels(nd) {
+			g := face.NewGen(m, l)
+			for sub, ok := g.Next(); ok; sub, ok = g.Next() {
+				// Map the m-dimensional subface into the father's face.
+				f := face.Face{Val: ff.Val, K: s.k}
+				for j, pos := range free {
+					bit := uint64(1) << uint(j)
+					switch {
+					case sub.X&bit != 0:
+						f.X |= 1 << uint(pos)
+					case sub.Val&bit != 0:
+						f.Val |= 1 << uint(pos)
+					}
+				}
+				if !emit(f) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// solve runs the backtracking search to completion. It returns true when
+// every node of the input graph is assigned a face consistently.
+//
+// Symmetry breaking: the very first constraint placed (only the universe
+// assigned) may take only the first verifying face of its level — every
+// face of a given level is equivalent under the automorphisms of the
+// k-cube (coordinate permutations and XOR translations), so any solution
+// can be remapped to one using that face. XOR translations do not preserve
+// bitwise output covering, so the break is disabled when OC edges are
+// active.
+func (s *searcher) solve(lic *constraint.Node) bool {
+	nd := s.nextToCode(lic)
+	if nd == nil {
+		return len(s.assigned) == len(s.g.Nodes)
+	}
+	first := len(s.assigned) == 1 && len(s.oc) == 0 // only the universe placed
+	found := false
+	s.candidates(nd, func(f face.Face) bool {
+		t, ok := s.place(nd, f)
+		if !ok {
+			return !s.budget // stop enumerating when the budget fired
+		}
+		if s.solve(nd) {
+			found = true
+			return false
+		}
+		s.undo(t)
+		if first {
+			return false // symmetry: other faces of this level are isomorphic
+		}
+		return !s.budget
+	})
+	return found
+}
+
+// extract returns the encoding defined by the singleton faces: the code of
+// symbol i is the Val vertex of f({i}).
+func (s *searcher) extract() encoding.Encoding {
+	e := encoding.New(s.g.N, s.k)
+	for i, sg := range s.singletons {
+		f := s.assigned[sg]
+		e.Codes[i] = f.Val
+	}
+	return e
+}
+
+// Faces returns a copy of the face assignment keyed by constraint vector,
+// for reporting and tests.
+func (s *searcher) Faces() map[string]face.Face {
+	out := make(map[string]face.Face, len(s.assigned))
+	for nd, f := range s.assigned {
+		out[nd.Set.String()] = f
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package encode
+
+import (
+	"testing"
+
+	"nova/internal/constraint"
+	"nova/internal/face"
+)
+
+func paperGraph() *constraint.Graph {
+	var ics []constraint.Constraint
+	for _, v := range []string{"1110000", "0111000", "0000111", "1000110", "0000011", "0011000"} {
+		ics = append(ics, constraint.Constraint{Set: constraint.MustFromString(v), Weight: 1})
+	}
+	return constraint.BuildGraph(7, ics)
+}
+
+// TestPosEquivPaperInstance mirrors Example 3.4.2.1: pos_equiv(IG, 4, (2,
+// 2,2,2)) finds a complete assignment.
+func TestPosEquivPaperInstance(t *testing.T) {
+	g := paperGraph()
+	s := newSearcher(g, 4)
+	s.allLevels = true
+	s.levels = map[*constraint.Node]int{}
+	for _, nd := range g.Primaries() {
+		if nd.Set.Card() > 1 {
+			s.levels[nd] = 2
+		}
+	}
+	if !s.solve(nil) {
+		t.Fatal("pos_equiv failed on the paper instance at k=4, levels (2,2,2,2)")
+	}
+	if len(s.assigned) != len(g.Nodes) {
+		t.Fatalf("assigned %d of %d nodes", len(s.assigned), len(g.Nodes))
+	}
+	enc := s.extract()
+	if !enc.Distinct() {
+		t.Fatalf("codes not distinct: %s", enc)
+	}
+	// Every original constraint must be satisfied by the extracted codes.
+	for _, nd := range g.Nodes {
+		if nd.Original && !Satisfied(enc, nd.Set) {
+			t.Fatalf("constraint %s unsatisfied", nd.Set)
+		}
+	}
+	// Faces must respect the level vector for primaries.
+	for nd, l := range s.levels {
+		if got := s.assigned[nd].Level(); got != l {
+			t.Fatalf("primary %s at level %d, want %d", nd.Set, got, l)
+		}
+	}
+}
+
+// TestVerifyRejections exercises the individual rejection conditions.
+func TestVerifyRejections(t *testing.T) {
+	g := paperGraph()
+	s := newSearcher(g, 4)
+	s.allLevels = true
+
+	big := g.Lookup(constraint.MustFromString("1110000")) // 3 states
+
+	// Cardinality: a level-1 face (2 vertices) cannot host 3 states.
+	if s.verify(big, face.FromString("x000")) {
+		t.Fatal("cardinality condition not enforced")
+	}
+	// Injectivity: the universe face is taken.
+	if s.verify(big, face.Full(4)) {
+		t.Fatal("injectivity not enforced")
+	}
+	// Place the first constraint, then check the semantic conditions
+	// against a singleton: a state outside the constraint must not take a
+	// vertex inside its face, and a member state must take one inside.
+	if _, ok := s.place(big, face.FromString("x0x0")); !ok {
+		t.Fatal("placing the first primary failed")
+	}
+	outsider := g.Lookup(constraint.MustFromString("0000100")) // state 5 ∉ {1,2,3}
+	if s.verify(outsider, face.FromString("0000")) {
+		t.Fatal("non-member vertex inside a constraint face not rejected")
+	}
+	member := g.Lookup(constraint.MustFromString("0100000")) // state 2 ∈ {1,2,3}
+	if s.verify(member, face.FromString("0001")) {
+		t.Fatal("member vertex outside the constraint face not rejected")
+	}
+	if !s.verify(member, face.FromString("0000")) {
+		t.Fatal("member vertex inside the face should be accepted")
+	}
+	// Two non-singleton faces with disjoint sets may overlap under the
+	// semantic conditions (violations surface when codes are placed).
+	disjoint := g.Lookup(constraint.MustFromString("0000111"))
+	if !s.verify(disjoint, face.FromString("x0xx")) {
+		t.Fatal("auxiliary face overlap should be admitted")
+	}
+}
+
+// TestPlaceForcesCat2 checks the fixpoint propagation of category-2
+// intersections (0110000 = 0111000 ∩ 1110000 in the paper example).
+func TestPlaceForcesCat2(t *testing.T) {
+	g := paperGraph()
+	s := newSearcher(g, 4)
+	s.allLevels = true
+	a := g.Lookup(constraint.MustFromString("0111000"))
+	b := g.Lookup(constraint.MustFromString("1110000"))
+	if _, ok := s.place(a, face.FromString("x0x0")); !ok {
+		t.Fatal("place a failed")
+	}
+	if _, ok := s.place(b, face.FromString("x00x")); !ok {
+		t.Fatal("place b failed")
+	}
+	mid := g.Lookup(constraint.MustFromString("0110000"))
+	f, as := s.assigned[mid]
+	if !as {
+		t.Fatal("category-2 node not forced")
+	}
+	if f.String() != "x000" {
+		t.Fatalf("forced face = %s, want x000", f)
+	}
+}
+
+// TestUndoRestoresState verifies that backtracking cleans up forced
+// assignments too.
+func TestUndoRestoresState(t *testing.T) {
+	g := paperGraph()
+	s := newSearcher(g, 4)
+	s.allLevels = true
+	a := g.Lookup(constraint.MustFromString("0111000"))
+	b := g.Lookup(constraint.MustFromString("1110000"))
+	if _, ok := s.place(a, face.FromString("x0x0")); !ok {
+		t.Fatal("place a failed")
+	}
+	before := len(s.assigned)
+	tr, ok := s.place(b, face.FromString("x00x"))
+	if !ok {
+		t.Fatal("place b failed")
+	}
+	if len(s.assigned) <= before+1 {
+		t.Fatal("expected forced assignments beyond b itself")
+	}
+	s.undo(tr)
+	if len(s.assigned) != before {
+		t.Fatalf("undo left %d assigned, want %d", len(s.assigned), before)
+	}
+	if _, as := s.assigned[b]; as {
+		t.Fatal("b still assigned after undo")
+	}
+}
+
+// TestFeasibleLevels checks the level policy: singletons at level 0,
+// primaries at the vector's level (or minimum), cat-3 below the father.
+func TestFeasibleLevels(t *testing.T) {
+	g := paperGraph()
+	s := newSearcher(g, 4)
+	s.allLevels = true
+	prim := g.Lookup(constraint.MustFromString("1110000"))
+	if ls := s.feasibleLevels(prim); len(ls) != 1 || ls[0] != 2 {
+		t.Fatalf("primary min levels = %v, want [2]", ls)
+	}
+	s.levels = map[*constraint.Node]int{prim: 3}
+	if ls := s.feasibleLevels(prim); len(ls) != 1 || ls[0] != 3 {
+		t.Fatalf("primary vector levels = %v, want [3]", ls)
+	}
+	// cat-3 node 0011000 under father 0111000 placed at level 2: levels
+	// 1 (all levels mode) only, since min level of a 2-set is 1.
+	fa := g.Lookup(constraint.MustFromString("0111000"))
+	if _, ok := s.place(fa, face.FromString("x0x0")); !ok {
+		t.Fatal("place failed")
+	}
+	c3 := g.Lookup(constraint.MustFromString("0011000"))
+	if c3.Cat() != constraint.Cat3 {
+		t.Fatalf("0011000 category = %d", c3.Cat())
+	}
+	if ls := s.feasibleLevels(c3); len(ls) != 1 || ls[0] != 1 {
+		t.Fatalf("cat3 levels = %v, want [1]", ls)
+	}
+}
+
+// TestCandidatesWithinFather ensures cat-3 candidate faces stay inside the
+// father's face.
+func TestCandidatesWithinFather(t *testing.T) {
+	g := paperGraph()
+	s := newSearcher(g, 4)
+	s.allLevels = true
+	fa := g.Lookup(constraint.MustFromString("0111000"))
+	ff := face.FromString("x0x0")
+	if _, ok := s.place(fa, ff); !ok {
+		t.Fatal("place failed")
+	}
+	c3 := g.Lookup(constraint.MustFromString("0011000"))
+	n := 0
+	s.candidates(c3, func(f face.Face) bool {
+		if !ff.Contains(f) {
+			t.Fatalf("candidate %s escapes father %s", f, ff)
+		}
+		n++
+		return true
+	})
+	if n == 0 {
+		t.Fatal("no candidates generated")
+	}
+}
+
+// TestBudgetAborts checks that the work bound fires and is reported.
+func TestBudgetAborts(t *testing.T) {
+	g := paperGraph()
+	s := newSearcher(g, 4)
+	s.allLevels = true
+	s.maxWork = 3
+	if s.solve(nil) {
+		t.Fatal("3 work units cannot solve the paper instance")
+	}
+	if !s.budget {
+		t.Fatal("budget flag not set")
+	}
+}
+
+// TestMinLevelHelper checks the ceil(log2) helper on node cardinalities.
+func TestMinLevelHelper(t *testing.T) {
+	g := paperGraph()
+	cases := map[string]int{
+		"1110000": 2, // card 3
+		"0011000": 1, // card 2
+		"0000010": 0, // card 1
+	}
+	for v, want := range cases {
+		nd := g.Lookup(constraint.MustFromString(v))
+		if got := minLevel(nd); got != want {
+			t.Fatalf("minLevel(%s) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestNextLex checks the primary level vector enumeration order of
+// Example 3.3.1.2.
+func TestNextLex(t *testing.T) {
+	lo := []int{2, 2, 2, 2}
+	hi := []int{3, 3, 3, 3}
+	v := append([]int(nil), lo...)
+	var seq [][4]int
+	seq = append(seq, [4]int{v[0], v[1], v[2], v[3]})
+	for nextLex(v, lo, hi) {
+		seq = append(seq, [4]int{v[0], v[1], v[2], v[3]})
+	}
+	if len(seq) != 16 {
+		t.Fatalf("%d vectors, want 16", len(seq))
+	}
+	if seq[1] != [4]int{2, 2, 2, 3} || seq[2] != [4]int{2, 2, 3, 2} {
+		t.Fatalf("lexicographic order wrong: %v", seq[:4])
+	}
+	if seq[15] != [4]int{3, 3, 3, 3} {
+		t.Fatalf("last vector %v", seq[15])
+	}
+}

@@ -1,0 +1,143 @@
+// Package encoding defines the result types shared between the encoding
+// algorithms and the translation/verification layers: the code assignment
+// for one symbolic variable and for a whole FSM.
+package encoding
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Encoding assigns a Bits-wide binary code to each of a symbolic variable's
+// values. Codes[i] holds the code of value i in its low Bits bits.
+type Encoding struct {
+	Bits  int
+	Codes []uint64
+}
+
+// New returns an all-zero encoding of n values in bits bits.
+func New(n, bits int) Encoding {
+	return Encoding{Bits: bits, Codes: make([]uint64, n)}
+}
+
+// Len returns the number of encoded values.
+func (e Encoding) Len() int { return len(e.Codes) }
+
+// Copy returns an independent copy.
+func (e Encoding) Copy() Encoding {
+	return Encoding{Bits: e.Bits, Codes: append([]uint64(nil), e.Codes...)}
+}
+
+// Distinct reports whether all codes are pairwise distinct.
+func (e Encoding) Distinct() bool {
+	seen := make(map[uint64]bool, len(e.Codes))
+	for _, c := range e.Codes {
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}
+
+// CodeString renders the code of value i as Bits characters, bit 0 first
+// (matching the face package's coordinate order).
+func (e Encoding) CodeString(i int) string {
+	var b strings.Builder
+	for bit := 0; bit < e.Bits; bit++ {
+		if e.Codes[i]&(1<<uint(bit)) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// String renders the encoding as {code0, code1, …}.
+func (e Encoding) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range e.Codes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.CodeString(i))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Assignment is a complete FSM encoding: the state encoding plus one
+// encoding per symbolic input and per symbolic output variable.
+type Assignment struct {
+	States  Encoding
+	SymIns  []Encoding
+	SymOuts []Encoding
+}
+
+// TotalBits returns state bits plus all symbolic-input bits: the paper's
+// "#bits" column for examples with symbolic inputs.
+func (a Assignment) TotalBits() int {
+	t := a.States.Bits
+	for _, e := range a.SymIns {
+		t += e.Bits
+	}
+	return t
+}
+
+// InputBits returns the encoded symbolic-input width only.
+func (a Assignment) InputBits() int {
+	t := 0
+	for _, e := range a.SymIns {
+		t += e.Bits
+	}
+	return t
+}
+
+// OutputBits returns the encoded symbolic-output width only.
+func (a Assignment) OutputBits() int {
+	t := 0
+	for _, e := range a.SymOuts {
+		t += e.Bits
+	}
+	return t
+}
+
+// Validate checks that every encoding has distinct codes that fit in its
+// declared width.
+func (a Assignment) Validate() error {
+	check := func(what string, e Encoding) error {
+		if e.Bits <= 0 && len(e.Codes) > 1 {
+			return fmt.Errorf("encoding: %s has %d values in %d bits", what, len(e.Codes), e.Bits)
+		}
+		if e.Bits > 64 {
+			return fmt.Errorf("encoding: %s uses %d bits; codes are limited to 64 bits (use the multiple-valued 1-hot cover cardinality for wider one-hot measurements)", what, e.Bits)
+		}
+		if e.Bits < 64 {
+			for i, c := range e.Codes {
+				if c >= 1<<uint(e.Bits) {
+					return fmt.Errorf("encoding: %s code %d (%#x) exceeds %d bits", what, i, c, e.Bits)
+				}
+			}
+		}
+		if !e.Distinct() {
+			return fmt.Errorf("encoding: %s codes are not distinct", what)
+		}
+		return nil
+	}
+	if err := check("states", a.States); err != nil {
+		return err
+	}
+	for i, e := range a.SymIns {
+		if err := check(fmt.Sprintf("symbolic input %d", i), e); err != nil {
+			return err
+		}
+	}
+	for i, e := range a.SymOuts {
+		if err := check(fmt.Sprintf("symbolic output %d", i), e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

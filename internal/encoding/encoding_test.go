@@ -1,0 +1,103 @@
+package encoding
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndLen(t *testing.T) {
+	e := New(5, 3)
+	if e.Len() != 5 || e.Bits != 3 {
+		t.Fatalf("e = %+v", e)
+	}
+	for _, c := range e.Codes {
+		if c != 0 {
+			t.Fatal("codes not zeroed")
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := Encoding{Bits: 2, Codes: []uint64{0, 1, 2, 3}}
+	if !e.Distinct() {
+		t.Fatal("distinct codes reported duplicate")
+	}
+	e.Codes[3] = 1
+	if e.Distinct() {
+		t.Fatal("duplicate not detected")
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	e := Encoding{Bits: 4, Codes: []uint64{0b0101}}
+	// Bit 0 first.
+	if got := e.CodeString(0); got != "1010" {
+		t.Fatalf("CodeString = %q", got)
+	}
+	if !strings.Contains(e.String(), "1010") {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestCopyIndependent(t *testing.T) {
+	e := Encoding{Bits: 2, Codes: []uint64{1, 2}}
+	c := e.Copy()
+	c.Codes[0] = 3
+	if e.Codes[0] != 1 {
+		t.Fatal("Copy aliases")
+	}
+}
+
+func TestAssignmentBits(t *testing.T) {
+	a := Assignment{
+		States: Encoding{Bits: 3, Codes: []uint64{0, 1, 2}},
+		SymIns: []Encoding{{Bits: 2, Codes: []uint64{0, 1}}, {Bits: 1, Codes: []uint64{0, 1}}},
+	}
+	if a.TotalBits() != 6 || a.InputBits() != 3 {
+		t.Fatalf("bits: total=%d input=%d", a.TotalBits(), a.InputBits())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Assignment{States: Encoding{Bits: 2, Codes: []uint64{0, 1, 2}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dup := Assignment{States: Encoding{Bits: 2, Codes: []uint64{0, 1, 1}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate codes must fail")
+	}
+	wide := Assignment{States: Encoding{Bits: 2, Codes: []uint64{0, 5}}}
+	if err := wide.Validate(); err == nil {
+		t.Fatal("code exceeding width must fail")
+	}
+	badSym := Assignment{
+		States: Encoding{Bits: 1, Codes: []uint64{0, 1}},
+		SymIns: []Encoding{{Bits: 1, Codes: []uint64{1, 1}}},
+	}
+	if err := badSym.Validate(); err == nil {
+		t.Fatal("duplicate symbolic codes must fail")
+	}
+}
+
+// Property: CodeString round-trips bit i of the code to position i.
+func TestCodeStringProperty(t *testing.T) {
+	f := func(code uint16) bool {
+		e := Encoding{Bits: 16, Codes: []uint64{uint64(code)}}
+		s := e.CodeString(0)
+		for i := 0; i < 16; i++ {
+			want := byte('0')
+			if code&(1<<uint(i)) != 0 {
+				want = '1'
+			}
+			if s[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package espresso implements a two-level multiple-valued logic minimizer
+// in the tradition of ESPRESSO-MV: the EXPAND / IRREDUNDANT / REDUCE
+// iteration over positional-notation covers, with implicant checks done by
+// unate-recursion tautology of cofactors rather than an explicit off-set.
+//
+// The minimizer is heuristic: it returns a minimal (irredundant, prime in
+// the one-part-at-a-time sense) cover whose cardinality is at a local
+// minimum of the espresso loop. It is the substrate NOVA uses to derive
+// input constraints (multiple-valued minimization of the symbolic FSM
+// cover), to run symbolic minimization, and to measure the product-term
+// cardinality of encoded PLAs.
+package espresso
+
+import (
+	"sort"
+
+	"nova/internal/cube"
+)
+
+// Options tunes the minimization loop.
+type Options struct {
+	// MaxIterations bounds the number of expand/irredundant/reduce rounds.
+	// Zero selects the default of 16 (the loop normally converges in 2-4).
+	MaxIterations int
+	// SkipReduce disables the REDUCE/re-EXPAND refinement, yielding a
+	// single EXPAND + IRREDUNDANT pass (faster, slightly worse covers).
+	SkipReduce bool
+	// LastGasp enables the last_gasp escape from local minima after the
+	// main loop converges (slower; occasionally saves a cube).
+	LastGasp bool
+	// MakeSparse lowers redundantly asserted output/multiple-valued parts
+	// after minimization (fewer care entries, same cube count).
+	MakeSparse bool
+}
+
+// Minimize returns a minimized cover of the incompletely specified function
+// with on-set cover on and don't-care cover dc (dc may be nil or empty).
+// The input covers are not modified.
+func Minimize(on, dc *cube.Cover, opt Options) *cube.Cover {
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 16
+	}
+	f := on.Copy()
+	if dc == nil {
+		dc = cube.NewCover(on.S)
+	}
+	f.SingleCubeContainment()
+	dropEmpty(f)
+
+	Expand(f, dc)
+	Irredundant(f, dc)
+	if opt.SkipReduce {
+		finish(f, dc, opt)
+		return f
+	}
+	best := f.Copy()
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		Reduce(f, dc)
+		Expand(f, dc)
+		Irredundant(f, dc)
+		if cost(f) < cost(best) {
+			best = f.Copy()
+			continue
+		}
+		if opt.LastGasp && LastGasp(best, dc) {
+			f = best.Copy()
+			continue
+		}
+		break
+	}
+	finish(best, dc, opt)
+	return best
+}
+
+func finish(f, dc *cube.Cover, opt Options) {
+	if opt.MakeSparse {
+		MakeSparse(f, dc)
+	}
+}
+
+// cost orders covers primarily by cube count, secondarily by total set
+// parts (fewer is better after cube count ties: more literals lowered).
+func cost(f *cube.Cover) int {
+	parts := 0
+	for _, c := range f.Cubes {
+		parts += c.PopCount()
+	}
+	return f.Len()*1_000_000 + parts
+}
+
+func dropEmpty(f *cube.Cover) {
+	var kept []cube.Cube
+	for _, c := range f.Cubes {
+		if !f.S.IsEmpty(c) {
+			kept = append(kept, c)
+		}
+	}
+	f.Cubes = kept
+}
+
+// Expand raises each cube of f to a prime-like implicant: parts are raised
+// one at a time (in an order favouring parts frequently set across the
+// cover) and a raise is kept when the expanded cube is still an implicant
+// of on∪dc, checked by tautology of the cofactor. Cubes made redundant by
+// the expansion of earlier cubes are removed.
+func Expand(f, dc *cube.Cover) {
+	s := f.S
+	// Snapshot the function: expansion is validated against the original
+	// on∪dc, which must not alias the cubes being mutated.
+	all := f.Copy().Append(dc)
+	// Process larger cubes first: they are more likely to swallow others.
+	order := make([]int, len(f.Cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return f.Cubes[order[a]].PopCount() > f.Cubes[order[b]].PopCount()
+	})
+
+	// Column weights: how often each part is set across the cover. Raising
+	// frequently-set parts first heads toward cubes that cover many others.
+	weights := make([]int, s.Bits())
+	for _, c := range f.Cubes {
+		for v := 0; v < s.NumVars(); v++ {
+			off := s.Offset(v)
+			for p := 0; p < s.Size(v); p++ {
+				if s.Test(c, v, p) {
+					weights[off+p]++
+				}
+			}
+		}
+	}
+
+	covered := make([]bool, len(f.Cubes))
+	for _, i := range order {
+		if covered[i] {
+			continue
+		}
+		c := f.Cubes[i]
+		expandCube(s, c, all, weights)
+		// Single-cube containment against the expanded cube.
+		for _, j := range order {
+			if j == i || covered[j] {
+				continue
+			}
+			if cube.Contains(c, f.Cubes[j]) {
+				covered[j] = true
+			}
+		}
+	}
+	var kept []cube.Cube
+	for i, c := range f.Cubes {
+		if !covered[i] {
+			kept = append(kept, c)
+		}
+	}
+	f.Cubes = kept
+}
+
+// expandCube raises the lowered parts of c in place, highest weight first,
+// keeping each raise for which c remains an implicant of all.
+func expandCube(s *cube.Structure, c cube.Cube, all *cube.Cover, weights []int) {
+	type cand struct{ v, p, w int }
+	var cands []cand
+	for v := 0; v < s.NumVars(); v++ {
+		off := s.Offset(v)
+		for p := 0; p < s.Size(v); p++ {
+			if !s.Test(c, v, p) {
+				cands = append(cands, cand{v, p, weights[off+p]})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].w > cands[b].w })
+	for _, cd := range cands {
+		s.Set(c, cd.v, cd.p)
+		if !all.CoversCube(c) {
+			s.Clear(c, cd.v, cd.p)
+		}
+	}
+}
+
+// Irredundant removes redundant cubes: cubes covered by the union of the
+// remaining cubes and the don't-care set. Cubes are examined smallest
+// first so large cubes (likely relatively essential) are retained.
+func Irredundant(f, dc *cube.Cover) {
+	order := make([]int, len(f.Cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return f.Cubes[order[a]].PopCount() < f.Cubes[order[b]].PopCount()
+	})
+	removed := make([]bool, len(f.Cubes))
+	for _, i := range order {
+		rest := cube.NewCover(f.S)
+		for j, c := range f.Cubes {
+			if j != i && !removed[j] {
+				rest.Add(c)
+			}
+		}
+		rest = rest.Append(dc)
+		if rest.CoversCube(f.Cubes[i]) {
+			removed[i] = true
+		}
+	}
+	var kept []cube.Cube
+	for i, c := range f.Cubes {
+		if !removed[i] {
+			kept = append(kept, c)
+		}
+	}
+	f.Cubes = kept
+}
+
+// Reduce lowers each cube of f to a smaller implicant that still leaves f a
+// cover: a set part of a variable (with at least two set parts) is cleared
+// when the minterms it alone contributes are covered by the rest of the
+// cover plus the don't-care set. Reduction unblocks the next EXPAND.
+func Reduce(f, dc *cube.Cover) {
+	s := f.S
+	// Reduce larger cubes first (mirrors espresso's ordering heuristic).
+	order := make([]int, len(f.Cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return f.Cubes[order[a]].PopCount() > f.Cubes[order[b]].PopCount()
+	})
+	for _, i := range order {
+		c := f.Cubes[i]
+		rest := f.Without(i).Append(dc)
+		for v := 0; v < s.NumVars(); v++ {
+			if s.VarCount(c, v) < 2 {
+				continue
+			}
+			for p := 0; p < s.Size(v); p++ {
+				if !s.Test(c, v, p) {
+					continue
+				}
+				if s.VarCount(c, v) < 2 {
+					break
+				}
+				// Slice of c with variable v pinned to part p: the minterms
+				// lost if the part is lowered.
+				slice := c.Copy()
+				s.ClearAll(slice, v)
+				s.Set(slice, v, p)
+				if rest.CoversCube(slice) {
+					s.Clear(c, v, p)
+				}
+			}
+		}
+	}
+}
+
+// MakePrime expands a single cube to a prime-like implicant of on∪dc.
+func MakePrime(s *cube.Structure, c cube.Cube, on, dc *cube.Cover) {
+	all := on.Copy().Append(dc)
+	weights := make([]int, s.Bits())
+	expandCube(s, c, all, weights)
+}
+
+// Verify reports whether cover f is a correct implementation of the
+// function (on, dc): f covers on, and f ⊆ on∪dc. It is exact (tautology
+// based) and intended for tests.
+func Verify(f, on, dc *cube.Cover) bool {
+	if dc == nil {
+		dc = cube.NewCover(on.S)
+	}
+	fdc := f.Append(dc)
+	for _, c := range on.Cubes {
+		if !fdc.CoversCube(c) {
+			return false
+		}
+	}
+	ondc := on.Append(dc)
+	for _, c := range f.Cubes {
+		if !ondc.CoversCube(c) {
+			return false
+		}
+	}
+	return true
+}

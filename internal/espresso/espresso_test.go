@@ -1,0 +1,237 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+
+	"nova/internal/cube"
+)
+
+func parse(s *cube.Structure, fields ...string) cube.Cube {
+	c := s.NewCube()
+	for v, f := range fields {
+		for p, ch := range f {
+			if ch == '1' {
+				s.Set(c, v, p)
+			}
+		}
+	}
+	return c
+}
+
+func TestMinimizeXor(t *testing.T) {
+	// XOR of two binary variables: already minimal with 2 cubes.
+	s := cube.NewStructure(2, 2, 1)
+	on := cube.NewCover(s)
+	on.Add(parse(s, "01", "10", "1"))
+	on.Add(parse(s, "10", "01", "1"))
+	m := Minimize(on, nil, Options{})
+	if m.Len() != 2 {
+		t.Fatalf("XOR minimized to %d cubes, want 2", m.Len())
+	}
+	if !Verify(m, on, nil) {
+		t.Fatal("minimized cover is not equivalent")
+	}
+}
+
+func TestMinimizeMerge(t *testing.T) {
+	// f = a'b + ab = b: should merge into one cube.
+	s := cube.NewStructure(2, 2, 1)
+	on := cube.NewCover(s)
+	on.Add(parse(s, "01", "01", "1"))
+	on.Add(parse(s, "10", "01", "1"))
+	m := Minimize(on, nil, Options{})
+	if m.Len() != 1 {
+		t.Fatalf("minimized to %d cubes, want 1", m.Len())
+	}
+	if !Verify(m, on, nil) {
+		t.Fatal("not equivalent after merge")
+	}
+}
+
+func TestMinimizeWithDontCare(t *testing.T) {
+	// f on = a'b', dc = a'b: expand should produce the single cube a'.
+	s := cube.NewStructure(2, 2, 1)
+	on := cube.NewCover(s)
+	on.Add(parse(s, "01", "01", "1"))
+	dc := cube.NewCover(s)
+	dc.Add(parse(s, "01", "10", "1"))
+	m := Minimize(on, dc, Options{})
+	if m.Len() != 1 {
+		t.Fatalf("minimized to %d cubes, want 1", m.Len())
+	}
+	if got := s.VarCount(m.Cubes[0], 1); got != 2 {
+		t.Fatalf("variable b not raised: %s", s.String(m.Cubes[0]))
+	}
+	if !Verify(m, on, dc) {
+		t.Fatal("not a valid cover of (on, dc)")
+	}
+}
+
+func TestMinimizeMultiValued(t *testing.T) {
+	// One 4-valued variable; on-set {v0, v1, v2}: minimal cover is the
+	// single MV literal {v0,v1,v2}.
+	s := cube.NewStructure(4, 1)
+	on := cube.NewCover(s)
+	on.Add(parse(s, "1000", "1"))
+	on.Add(parse(s, "0100", "1"))
+	on.Add(parse(s, "0010", "1"))
+	m := Minimize(on, nil, Options{})
+	if m.Len() != 1 {
+		t.Fatalf("minimized to %d cubes, want 1", m.Len())
+	}
+	if s.VarCount(m.Cubes[0], 0) != 3 {
+		t.Fatalf("MV literal wrong: %s", s.String(m.Cubes[0]))
+	}
+	if !Verify(m, on, nil) {
+		t.Fatal("not equivalent")
+	}
+}
+
+func TestMinimizeMultiOutput(t *testing.T) {
+	// Two outputs sharing a product term: f0 = ab, f1 = ab + a'b'.
+	s := cube.NewStructure(2, 2, 2)
+	on := cube.NewCover(s)
+	on.Add(parse(s, "01", "01", "11")) // ab -> both outputs
+	on.Add(parse(s, "10", "10", "01")) // a'b' -> f1
+	m := Minimize(on, nil, Options{})
+	if m.Len() != 2 {
+		t.Fatalf("minimized to %d cubes, want 2", m.Len())
+	}
+	if !Verify(m, on, nil) {
+		t.Fatal("not equivalent")
+	}
+}
+
+func TestMinimizeFullSpace(t *testing.T) {
+	// Covering all four minterms must give the universe cube.
+	s := cube.NewStructure(2, 2, 1)
+	on := cube.NewCover(s)
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			c := s.NewCube()
+			s.Set(c, 0, a)
+			s.Set(c, 1, b)
+			s.Set(c, 2, 0)
+			on.Add(c)
+		}
+	}
+	m := Minimize(on, nil, Options{})
+	if m.Len() != 1 {
+		t.Fatalf("minimized to %d cubes, want 1", m.Len())
+	}
+	if !s.IsFull(m.Cubes[0]) {
+		t.Fatalf("expected the universe cube, got %s", s.String(m.Cubes[0]))
+	}
+}
+
+func TestIrredundantRemovesRedundantCube(t *testing.T) {
+	// a'b + ab' + (a XOR b redundant middle consensus-ish cube).
+	s := cube.NewStructure(2, 2, 1)
+	f := cube.NewCover(s)
+	f.Add(parse(s, "01", "11", "1")) // a'
+	f.Add(parse(s, "10", "11", "1")) // a
+	f.Add(parse(s, "11", "01", "1")) // b, redundant
+	dc := cube.NewCover(s)
+	Irredundant(f, dc)
+	if f.Len() != 2 {
+		t.Fatalf("irredundant left %d cubes, want 2", f.Len())
+	}
+}
+
+func TestReduceEnablesBetterExpand(t *testing.T) {
+	// Classic espresso behaviour check: reduce must not break covering.
+	s := cube.NewStructure(2, 2, 1)
+	on := cube.NewCover(s)
+	on.Add(parse(s, "11", "01", "1"))
+	on.Add(parse(s, "01", "11", "1"))
+	f := on.Copy()
+	dc := cube.NewCover(s)
+	Reduce(f, dc)
+	if !Verify(f, on, nil) {
+		t.Fatal("reduce broke functional equivalence")
+	}
+}
+
+// randomOnDc builds a random (on, dc) pair over a mixed structure.
+func randomOnDc(s *cube.Structure, rng *rand.Rand) (on, dc *cube.Cover) {
+	on = cube.NewCover(s)
+	dc = cube.NewCover(s)
+	randomCube := func() cube.Cube {
+		c := s.NewCube()
+		for v := 0; v < s.NumVars(); v++ {
+			for p := 0; p < s.Size(v); p++ {
+				if rng.Intn(2) == 1 {
+					s.Set(c, v, p)
+				}
+			}
+			if s.VarEmpty(c, v) {
+				s.Set(c, v, rng.Intn(s.Size(v)))
+			}
+		}
+		return c
+	}
+	for i := 0; i < 1+rng.Intn(6); i++ {
+		on.Add(randomCube())
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		dc.Add(randomCube())
+	}
+	return on, dc
+}
+
+// Property: Minimize never increases cube count and preserves the function.
+func TestMinimizeRandomizedEquivalence(t *testing.T) {
+	s := cube.NewStructure(2, 2, 3, 2)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		on, dc := randomOnDc(s, rng)
+		m := Minimize(on, dc, Options{})
+		if m.Len() > on.Len() {
+			t.Fatalf("trial %d: minimize grew the cover %d -> %d", trial, on.Len(), m.Len())
+		}
+		if !Verify(m, on, dc) {
+			t.Fatalf("trial %d: minimized cover not equivalent\non:\n%sdc:\n%sm:\n%s", trial, on, dc, m)
+		}
+	}
+}
+
+// Property: every cube of the result is prime-like — raising any single
+// lowered part produces a non-implicant.
+func TestMinimizePrimality(t *testing.T) {
+	s := cube.NewStructure(2, 2, 2)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		on, dc := randomOnDc(s, rng)
+		m := Minimize(on, dc, Options{})
+		all := on.Append(dc)
+		for _, c := range m.Cubes {
+			for v := 0; v < s.NumVars(); v++ {
+				for p := 0; p < s.Size(v); p++ {
+					if s.Test(c, v, p) {
+						continue
+					}
+					up := c.Copy()
+					s.Set(up, v, p)
+					if all.CoversCube(up) {
+						t.Fatalf("trial %d: cube %s is not prime (part %d/%d can raise)", trial, s.String(c), v, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMinimizeRandom16(b *testing.B) {
+	s := cube.NewStructure(2, 2, 2, 2, 4, 3)
+	rng := rand.New(rand.NewSource(5))
+	on, dc := randomOnDc(s, rng)
+	for i := 0; i < 8; i++ {
+		more, _ := randomOnDc(s, rng)
+		on = on.Append(more)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minimize(on, dc, Options{})
+	}
+}

@@ -1,0 +1,187 @@
+package espresso
+
+import (
+	"sort"
+
+	"nova/internal/cube"
+)
+
+// Exact two-level minimization for small functions: generate all prime
+// implicants by iterated consensus (the multiple-valued generalization of
+// Quine-McCluskey) and solve the covering problem exactly by branch and
+// bound. Exponential in general — intended as a validation oracle for the
+// heuristic minimizer and for exact results on small FSMs.
+
+// ExactOptions bounds the exact minimizer.
+type ExactOptions struct {
+	// MaxPrimes aborts when the prime set grows beyond this (0 = 50000).
+	MaxPrimes int
+	// MaxNodes bounds the branch-and-bound search tree (0 = 1 << 20).
+	MaxNodes int
+}
+
+// Primes returns all prime implicants of the function (on, dc) by iterated
+// consensus followed by single-cube containment, starting from the on∪dc
+// cubes. It returns nil when MaxPrimes is exceeded.
+func Primes(on, dc *cube.Cover, opt ExactOptions) *cube.Cover {
+	if opt.MaxPrimes <= 0 {
+		opt.MaxPrimes = 50000
+	}
+	s := on.S
+	set := on.Copy().Append(dc).Copy()
+	set.SingleCubeContainment()
+	// Iterated consensus: add consensus cubes until closure; keep only
+	// maximal cubes.
+	changed := true
+	for changed {
+		changed = false
+		n := len(set.Cubes)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				c := s.Consensus(set.Cubes[i], set.Cubes[j])
+				if c == nil {
+					continue
+				}
+				dominated := false
+				for _, q := range set.Cubes {
+					if cube.Contains(q, c) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					set.Add(c)
+					changed = true
+					if len(set.Cubes) > opt.MaxPrimes {
+						return nil
+					}
+				}
+			}
+		}
+		set.SingleCubeContainment()
+	}
+	return set
+}
+
+// MinimumCover returns a minimum-cardinality cover of (on, dc) using the
+// primes and an exact branch-and-bound set cover, or nil when a bound is
+// exceeded. Minterm enumeration bounds its use to small spaces.
+func MinimumCover(on, dc *cube.Cover, opt ExactOptions) *cube.Cover {
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 1 << 20
+	}
+	primes := Primes(on, dc, opt)
+	if primes == nil {
+		return nil
+	}
+	s := on.S
+	// Enumerate the on-set minterms: each must be covered by a selected
+	// prime. Minterms also in the don't-care set are free (the don't-care
+	// set dominates, matching the heuristic minimizer's convention for
+	// ill-formed overlapping specifications).
+	var minterms []cube.Cube
+	seen := map[string]bool{}
+	on.Minterms(func(m cube.Cube) {
+		k := m.Key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		for _, d := range dc.Cubes {
+			if cube.Contains(d, m) {
+				return
+			}
+		}
+		minterms = append(minterms, m)
+	})
+	// Covering matrix: per minterm, the primes containing it.
+	covers := make([][]int, len(minterms))
+	for i, m := range minterms {
+		for pi, p := range primes.Cubes {
+			if cube.Contains(p, m) {
+				covers[i] = append(covers[i], pi)
+			}
+		}
+		if len(covers[i]) == 0 {
+			return nil // should not happen: primes cover on∪dc
+		}
+	}
+	// Order minterms by fewest covering primes (most constrained first).
+	order := make([]int, len(minterms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(covers[order[a]]) < len(covers[order[b]])
+	})
+
+	bestLen := len(on.Cubes) + 1
+	var best []int
+	chosen := map[int]bool{}
+	nodes := 0
+	var search func(oi int, count int) bool
+	search = func(oi, count int) bool {
+		nodes++
+		if nodes > opt.MaxNodes {
+			return false
+		}
+		if count >= bestLen {
+			return true
+		}
+		// Find the next uncovered minterm.
+		for oi < len(order) {
+			mi := order[oi]
+			coveredAlready := false
+			for _, pi := range covers[mi] {
+				if chosen[pi] {
+					coveredAlready = true
+					break
+				}
+			}
+			if !coveredAlready {
+				break
+			}
+			oi++
+		}
+		if oi == len(order) {
+			bestLen = count
+			best = best[:0]
+			for pi := range chosen {
+				best = append(best, pi)
+			}
+			return true
+		}
+		mi := order[oi]
+		for _, pi := range covers[mi] {
+			chosen[pi] = true
+			ok := search(oi+1, count+1)
+			delete(chosen, pi)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !search(0, 0) && best == nil {
+		return nil
+	}
+	if best == nil {
+		return nil
+	}
+	sort.Ints(best)
+	out := cube.NewCover(s)
+	for _, pi := range best {
+		out.Add(primes.Cubes[pi].Copy())
+	}
+	return out
+}
+
+// ExactCubeCount returns the minimum number of product terms implementing
+// (on, dc), or -1 when the exact search exceeded its bounds.
+func ExactCubeCount(on, dc *cube.Cover, opt ExactOptions) int {
+	m := MinimumCover(on, dc, opt)
+	if m == nil {
+		return -1
+	}
+	return m.Len()
+}

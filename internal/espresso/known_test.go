@@ -1,0 +1,152 @@
+package espresso
+
+import (
+	"testing"
+
+	"nova/internal/cube"
+)
+
+// knownFunction checks Minimize against functions with known minimum
+// two-level covers.
+
+func TestKnownMajority(t *testing.T) {
+	// 3-input majority: minimum SOP is ab + ac + bc (3 cubes).
+	s := cube.NewStructure(2, 2, 2, 1)
+	on := cube.NewCover(s)
+	for v := 0; v < 8; v++ {
+		ones := 0
+		for b := 0; b < 3; b++ {
+			if v&(1<<uint(b)) != 0 {
+				ones++
+			}
+		}
+		if ones < 2 {
+			continue
+		}
+		c := s.NewCube()
+		for b := 0; b < 3; b++ {
+			s.Set(c, b, (v>>uint(b))&1)
+		}
+		s.Set(c, 3, 0)
+		on.Add(c)
+	}
+	m := Minimize(on, nil, Options{})
+	if m.Len() != 3 {
+		t.Fatalf("majority minimized to %d cubes, want 3\n%s", m.Len(), m)
+	}
+	if !Verify(m, on, nil) {
+		t.Fatal("majority cover wrong")
+	}
+}
+
+func TestKnownParityIsIrreducible(t *testing.T) {
+	// 3-input odd parity needs all 4 minterm cubes.
+	s := cube.NewStructure(2, 2, 2, 1)
+	on := cube.NewCover(s)
+	for v := 0; v < 8; v++ {
+		ones := 0
+		for b := 0; b < 3; b++ {
+			if v&(1<<uint(b)) != 0 {
+				ones++
+			}
+		}
+		if ones%2 == 0 {
+			continue
+		}
+		c := s.NewCube()
+		for b := 0; b < 3; b++ {
+			s.Set(c, b, (v>>uint(b))&1)
+		}
+		s.Set(c, 3, 0)
+		on.Add(c)
+	}
+	m := Minimize(on, nil, Options{})
+	if m.Len() != 4 {
+		t.Fatalf("parity minimized to %d cubes, want 4", m.Len())
+	}
+}
+
+func TestKnownDecoder(t *testing.T) {
+	// 2-to-4 decoder: 4 outputs, each a single minterm: 4 cubes minimum.
+	s := cube.NewStructure(2, 2, 4)
+	on := cube.NewCover(s)
+	for v := 0; v < 4; v++ {
+		c := s.NewCube()
+		s.Set(c, 0, v&1)
+		s.Set(c, 1, (v>>1)&1)
+		s.Set(c, 2, v)
+		on.Add(c)
+	}
+	m := Minimize(on, nil, Options{})
+	if m.Len() != 4 {
+		t.Fatalf("decoder minimized to %d cubes, want 4", m.Len())
+	}
+	if !Verify(m, on, nil) {
+		t.Fatal("decoder cover wrong")
+	}
+}
+
+func TestOutputSharing(t *testing.T) {
+	// f0 = ab + cd, f1 = ab: the shared term ab must appear once with both
+	// output bits, giving a 2-cube multi-output cover.
+	s := cube.NewStructure(2, 2, 2, 2, 2)
+	mk := func(fields ...string) cube.Cube { return parse(s, fields...) }
+	on := cube.NewCover(s)
+	on.Add(mk("01", "01", "11", "11", "11")) // ab -> f0 f1
+	on.Add(mk("11", "11", "01", "01", "10")) // cd -> f0
+	m := Minimize(on, nil, Options{})
+	if m.Len() != 2 {
+		t.Fatalf("minimized to %d cubes, want 2", m.Len())
+	}
+	if !Verify(m, on, nil) {
+		t.Fatal("cover wrong")
+	}
+}
+
+func TestSkipReduceStillCorrect(t *testing.T) {
+	s := cube.NewStructure(2, 2, 2, 1)
+	on := cube.NewCover(s)
+	on.Add(parse(s, "01", "01", "11", "1"))
+	on.Add(parse(s, "01", "10", "11", "1"))
+	on.Add(parse(s, "10", "11", "01", "1"))
+	m := Minimize(on, nil, Options{SkipReduce: true})
+	if !Verify(m, on, nil) {
+		t.Fatal("SkipReduce broke equivalence")
+	}
+	if m.Len() > on.Len() {
+		t.Fatal("SkipReduce grew the cover")
+	}
+}
+
+func TestVerifyCatchesWrongCover(t *testing.T) {
+	s := cube.NewStructure(2, 2, 1)
+	on := cube.NewCover(s)
+	on.Add(parse(s, "01", "01", "1"))
+	wrong := cube.NewCover(s)
+	wrong.Add(parse(s, "10", "01", "1")) // different function
+	if Verify(wrong, on, nil) {
+		t.Fatal("Verify accepted a wrong cover")
+	}
+	over := cube.NewCover(s)
+	over.Add(parse(s, "11", "01", "1")) // covers onset but exceeds on∪dc
+	if Verify(over, on, nil) {
+		t.Fatal("Verify accepted an over-approximation")
+	}
+}
+
+func TestMinimizeMVStateGrouping(t *testing.T) {
+	// One 6-valued variable: on-set {v0,v1,v2,v3} with one output. The
+	// minimum MV cover is a single literal.
+	s := cube.NewStructure(6, 1)
+	on := cube.NewCover(s)
+	for v := 0; v < 4; v++ {
+		c := s.NewCube()
+		s.Set(c, 0, v)
+		s.Set(c, 1, 0)
+		on.Add(c)
+	}
+	m := Minimize(on, nil, Options{})
+	if m.Len() != 1 || s.VarCount(m.Cubes[0], 0) != 4 {
+		t.Fatalf("MV grouping failed:\n%s", m)
+	}
+}

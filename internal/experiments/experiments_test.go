@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nova"
+	"nova/internal/bench"
+)
+
+func smallOpts() RunOpts {
+	return RunOpts{Only: []string{"bbtas", "dk27", "shiftreg", "lion"}, Seed: 1}
+}
+
+func TestTableI(t *testing.T) {
+	r := NewRunner(smallOpts())
+	rows := r.TableI()
+	// lion is a Table V extra, so Table I keeps the other three.
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	text := FormatTableI(rows)
+	for _, want := range []string{"bbtas", "dk27", "shiftreg", "#states"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestTableIIAndCache(t *testing.T) {
+	r := NewRunner(smallOpts())
+	rows, err := r.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.IHybrid.Cubes <= 0 || row.IGreedy.Cubes <= 0 || row.OneHotCubes <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+		if !row.IExact.GaveUp && row.IExact.Bits < row.IHybrid.Bits {
+			t.Fatalf("%s: iexact found fewer bits than the minimum-length ihybrid", row.Name)
+		}
+	}
+	// A second call must hit the memo (fast path, same values).
+	rows2, err := r.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != rows2[i] {
+			t.Fatal("cache returned different values")
+		}
+	}
+	if s := FormatTableII(rows); !strings.Contains(s, "ihybrid") {
+		t.Fatal("format missing header")
+	}
+}
+
+func TestTableIIIRelations(t *testing.T) {
+	r := NewRunner(smallOpts())
+	rows, err := r.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.RandomBestArea > row.RandomAvgArea {
+			t.Fatalf("%s: best random above average", row.Name)
+		}
+		if row.KISS.Bits < row.NovaIH.Bits {
+			t.Fatalf("%s: KISS used fewer bits than minimum-length NOVA", row.Name)
+		}
+	}
+	_ = FormatTableIII(rows)
+}
+
+func TestTableIVBestIsMin(t *testing.T) {
+	r := NewRunner(smallOpts())
+	rows, err := r.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.NovaBest.Area > row.IOHybrid.Area || row.NovaBest.Area > row.NovaIH.Area {
+			t.Fatalf("%s: NOVA best is not the minimum", row.Name)
+		}
+	}
+	_ = FormatTableIV(rows)
+}
+
+func TestTableV(t *testing.T) {
+	r := NewRunner(smallOpts())
+	rows, err := r.TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four small machines are Table V members.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	_ = FormatTableV(rows)
+}
+
+func TestTableVI(t *testing.T) {
+	r := NewRunner(smallOpts())
+	rows, err := r.TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.CLength < nova.MinLength(bench.Get(row.Name).NumStates()) {
+			t.Fatalf("%s: clength %d below minimum", row.Name, row.CLength)
+		}
+		if row.ExCLength > 0 && row.CLength < row.ExCLength {
+			t.Fatalf("%s: heuristic length %d beats exact %d", row.Name, row.CLength, row.ExCLength)
+		}
+	}
+	_ = FormatTableVI(rows)
+}
+
+func TestTableVII(t *testing.T) {
+	r := NewRunner(smallOpts())
+	rows, err := r.TableVII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.MustangCubes <= 0 || row.NovaCubes <= 0 || row.NovaLits < 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+		if row.BestVariant == "" {
+			t.Fatalf("%s: no winning variant recorded", row.Name)
+		}
+	}
+	_ = FormatTableVII(rows)
+}
+
+func TestFigures(t *testing.T) {
+	r := NewRunner(smallOpts())
+	for i, fn := range []func() ([]RatioPoint, error){r.FigureVIII, r.FigureIX, r.FigureX} {
+		pts, err := fn()
+		if err != nil {
+			t.Fatalf("figure %d: %v", i+8, err)
+		}
+		if len(pts) == 0 {
+			t.Fatalf("figure %d: empty", i+8)
+		}
+		for j := 1; j < len(pts); j++ {
+			if pts[j-1].States > pts[j].States {
+				t.Fatalf("figure %d: not ordered by states", i+8)
+			}
+		}
+		for _, p := range pts {
+			for k, v := range p.Ratios {
+				if v <= 0 {
+					t.Fatalf("figure %d: ratio %s = %f", i+8, k, v)
+				}
+			}
+		}
+		if s := FormatFigure("T", pts); !strings.Contains(s, pts[0].Name) {
+			t.Fatalf("figure %d: format missing rows", i+8)
+		}
+	}
+}
+
+func TestAblationWeightOrder(t *testing.T) {
+	d, a, err := AblationWeightOrder(bench.Get("bbtas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 || a < 0 {
+		t.Fatalf("negative weights d=%d a=%d", d, a)
+	}
+}
+
+func TestRunOptsFiltering(t *testing.T) {
+	opts := RunOpts{SkipHuge: true}
+	for _, e := range opts.entries() {
+		if e.Huge {
+			t.Fatalf("huge entry %s not skipped", e.Name)
+		}
+	}
+	opts = RunOpts{Only: []string{"bbtas"}}
+	if got := opts.entries(); len(got) != 1 || got[0].Name != "bbtas" {
+		t.Fatalf("Only filter wrong: %v", got)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Formatting tests: the table renderers must produce the paper's footers
+// and stable column layout without running the pipeline.
+
+func TestFormatTableIIIFooter(t *testing.T) {
+	rows := []RowIII{
+		{Name: "a", NovaIH: Cell{Bits: 3, Cubes: 10, Area: 100}, KISS: Cell{Bits: 5, Cubes: 11, Area: 200}, RandomBestArea: 150, RandomAvgArea: 180},
+		{Name: "b", NovaIH: Cell{Bits: 4, Cubes: 20, Area: 300}, KISS: Cell{Bits: 6, Cubes: 22, Area: 400}, RandomBestArea: 350, RandomAvgArea: 420},
+	}
+	out := FormatTableIII(rows)
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, "%") {
+		t.Fatalf("footer missing:\n%s", out)
+	}
+	// NOVA total 400 over random best 500 = 80%.
+	if !strings.Contains(out, "80%") {
+		t.Fatalf("percentage wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "120%") { // KISS 600/500
+		t.Fatalf("KISS percentage wrong:\n%s", out)
+	}
+}
+
+func TestFormatTableIVFooter(t *testing.T) {
+	rows := []RowIV{{
+		Name:           "a",
+		IOHybrid:       Cell{Bits: 3, Cubes: 9, Area: 90},
+		NovaIH:         Cell{Bits: 3, Cubes: 10, Area: 100},
+		NovaBest:       Cell{Bits: 3, Cubes: 9, Area: 90},
+		RandomBestArea: 120, RandomAvgArea: 130,
+	}}
+	out := FormatTableIV(rows)
+	if !strings.Contains(out, "75%") { // 90/120
+		t.Fatalf("iohybrid percentage wrong:\n%s", out)
+	}
+}
+
+func TestFormatTableIIGaveUpDash(t *testing.T) {
+	rows := []RowII{{
+		Name:        "x",
+		IExact:      Cell{GaveUp: true},
+		IHybrid:     Cell{Bits: 3, Cubes: 5, Area: 50},
+		IGreedy:     Cell{Bits: 3, Cubes: 6, Area: 60},
+		OneHotCubes: 7,
+	}}
+	out := FormatTableII(rows)
+	if !strings.Contains(out, "-") {
+		t.Fatalf("gave-up dash missing:\n%s", out)
+	}
+}
+
+func TestFormatTableVI(t *testing.T) {
+	rows := []RowVI{{Name: "m", WSat: 5, WUnsat: 2, CLength: 6, ExCLength: -1, Millis: 42}}
+	out := FormatTableVI(rows)
+	if !strings.Contains(out, "?") {
+		t.Fatalf("unknown exact length must render as ?:\n%s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("time column missing:\n%s", out)
+	}
+}
+
+func TestFormatFigureEmpty(t *testing.T) {
+	if out := FormatFigure("T", nil); !strings.Contains(out, "T") {
+		t.Fatalf("title missing: %q", out)
+	}
+}
+
+func TestFormatTableVFooter(t *testing.T) {
+	rows := []RowV{
+		{Name: "a", IOHybrid: Cell{Area: 70}, Cream: Cell{Area: 100}},
+	}
+	out := FormatTableV(rows)
+	if !strings.Contains(out, "70%") {
+		t.Fatalf("percentage wrong:\n%s", out)
+	}
+}
+
+func TestFormatTableVIIFooter(t *testing.T) {
+	rows := []RowVII{
+		{Name: "a", MustangCubes: 12, NovaCubes: 10, MustangLits: 22, NovaLits: 20, RandomLits: 26},
+	}
+	out := FormatTableVII(rows)
+	if !strings.Contains(out, "120%") || !strings.Contains(out, "130%") {
+		t.Fatalf("percentages wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,227 @@
+// Package face implements faces (subcubes) of the Boolean k-cube over the
+// alphabet {0,1,x} and their poset operations: inclusion, intersection,
+// level, and lexicographic face generation (the paper's genface). A face is
+// an element of the k-cube face-poset of Section 3.1.
+package face
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Face is a subcube of the k-cube: X marks the don't-care (x) positions,
+// Val holds the 0/1 values on the care positions (bits under X are kept
+// zero). Bit 0 is the leftmost (most significant in the paper's string
+// rendering) coordinate. K <= 64.
+type Face struct {
+	Val, X uint64
+	K      int
+}
+
+// FromString parses a face like "x0x0" (characters 0, 1, x or X).
+func FromString(s string) Face {
+	f := Face{K: len(s)}
+	for i, c := range s {
+		switch c {
+		case '1':
+			f.Val |= 1 << uint(i)
+		case 'x', 'X', '-':
+			f.X |= 1 << uint(i)
+		}
+	}
+	return f
+}
+
+// Vertex returns the level-0 face whose coordinates are the bits of v
+// (coordinate i = bit i of v).
+func Vertex(k int, v uint64) Face { return Face{Val: v & mask(k), K: k} }
+
+// Full returns the universe face xx…x of dimension k.
+func Full(k int) Face { return Face{X: mask(k), K: k} }
+
+func mask(k int) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(k)) - 1
+}
+
+// Level returns the number of x positions.
+func (f Face) Level() int { return bits.OnesCount64(f.X) }
+
+// Cardinality returns 2^Level, the number of vertices of the face.
+func (f Face) Cardinality() int { return 1 << uint(f.Level()) }
+
+// Equal reports face equality.
+func (f Face) Equal(g Face) bool {
+	return f.K == g.K && f.X == g.X && f.Val&^f.X == g.Val&^g.X
+}
+
+// Contains reports whether f includes g (every vertex of g is in f): g has
+// no free coordinate where f is bound, and their values agree on the
+// coordinates where f is bound.
+func (f Face) Contains(g Face) bool {
+	if g.X&^f.X != 0 {
+		return false
+	}
+	return (f.Val^g.Val)&^f.X == 0
+}
+
+// Intersects reports whether f and g share a vertex: they agree on all
+// common care positions.
+func (f Face) Intersects(g Face) bool {
+	return (f.Val^g.Val)&^f.X&^g.X == 0
+}
+
+// Intersect returns the intersection face and true, or a zero Face and
+// false when f and g are disjoint.
+func (f Face) Intersect(g Face) (Face, bool) {
+	if !f.Intersects(g) {
+		return Face{}, false
+	}
+	x := f.X & g.X
+	val := ((f.Val &^ f.X) | (g.Val &^ g.X)) &^ x
+	return Face{Val: val, X: x, K: f.K}, true
+}
+
+// HasVertex reports whether vertex v (coordinates = bits of v) lies in f.
+func (f Face) HasVertex(v uint64) bool {
+	return (f.Val^v)&^f.X&mask(f.K) == 0
+}
+
+// Vertices calls fn for every vertex of the face in increasing numeric
+// order of the free-coordinate pattern.
+func (f Face) Vertices(fn func(uint64)) {
+	var free []uint
+	for i := 0; i < f.K; i++ {
+		if f.X&(1<<uint(i)) != 0 {
+			free = append(free, uint(i))
+		}
+	}
+	n := 1 << uint(len(free))
+	for p := 0; p < n; p++ {
+		v := f.Val
+		for j, pos := range free {
+			if p&(1<<uint(j)) != 0 {
+				v |= 1 << pos
+			}
+		}
+		fn(v)
+	}
+}
+
+// String renders the face over {0,1,x}, coordinate 0 first.
+func (f Face) String() string {
+	var b strings.Builder
+	for i := 0; i < f.K; i++ {
+		bit := uint64(1) << uint(i)
+		switch {
+		case f.X&bit != 0:
+			b.WriteByte('x')
+		case f.Val&bit != 0:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Gen enumerates the faces of the k-cube having a fixed level, in the
+// paper's order: all combinations of x-position patterns in lexicographic
+// order and, within each pattern, all value assignments of the care
+// positions in increasing numeric order.
+type Gen struct {
+	k, level int
+	xpos     []int // current x positions (combination), increasing
+	val      uint64
+	done     bool
+	started  bool
+}
+
+// NewGen returns a generator of level-`level` faces of the k-cube.
+// Level must satisfy 0 <= level <= k.
+func NewGen(k, level int) *Gen {
+	g := &Gen{k: k, level: level}
+	if level > k || k <= 0 {
+		g.done = true
+		return g
+	}
+	g.xpos = make([]int, level)
+	for i := range g.xpos {
+		g.xpos[i] = i
+	}
+	return g
+}
+
+// Next returns the next face, or ok=false when exhausted.
+func (g *Gen) Next() (Face, bool) {
+	if g.done {
+		return Face{}, false
+	}
+	if !g.started {
+		g.started = true
+		return g.current(), true
+	}
+	// Advance value pattern on the care positions.
+	careBits := g.k - g.level
+	if g.val+1 < 1<<uint(careBits) {
+		g.val++
+		return g.current(), true
+	}
+	g.val = 0
+	// Advance the x-position combination.
+	if !g.nextComb() {
+		g.done = true
+		return Face{}, false
+	}
+	return g.current(), true
+}
+
+func (g *Gen) nextComb() bool {
+	n, r := g.k, g.level
+	if r == 0 {
+		return false
+	}
+	i := r - 1
+	for i >= 0 && g.xpos[i] == n-r+i {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	g.xpos[i]++
+	for j := i + 1; j < r; j++ {
+		g.xpos[j] = g.xpos[j-1] + 1
+	}
+	return true
+}
+
+func (g *Gen) current() Face {
+	var x uint64
+	for _, p := range g.xpos {
+		x |= 1 << uint(p)
+	}
+	// Spread the value bits over the care positions, low positions first.
+	var val uint64
+	vi := 0
+	for i := 0; i < g.k; i++ {
+		if x&(1<<uint(i)) != 0 {
+			continue
+		}
+		if g.val&(1<<uint(vi)) != 0 {
+			val |= 1 << uint(i)
+		}
+		vi++
+	}
+	return Face{Val: val, X: x, K: g.k}
+}
+
+// Count returns the number of level-l faces of the k-cube: C(k,l)*2^(k-l).
+func Count(k, l int) int {
+	c := 1
+	for i := 0; i < l; i++ {
+		c = c * (k - i) / (i + 1)
+	}
+	return c << uint(k-l)
+}

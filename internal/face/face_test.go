@@ -1,0 +1,173 @@
+package face
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromStringAndString(t *testing.T) {
+	f := FromString("x0x0")
+	if f.K != 4 || f.Level() != 2 || f.Cardinality() != 4 {
+		t.Fatalf("K=%d level=%d card=%d", f.K, f.Level(), f.Cardinality())
+	}
+	if f.String() != "x0x0" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestContains(t *testing.T) {
+	big := FromString("x0x0")
+	if !big.Contains(FromString("10x0")) {
+		t.Fatal("x0x0 must contain 10x0")
+	}
+	if !big.Contains(FromString("0000")) {
+		t.Fatal("x0x0 must contain 0000")
+	}
+	if big.Contains(FromString("0001")) {
+		t.Fatal("x0x0 must not contain 0001")
+	}
+	if big.Contains(FromString("xxx0")) {
+		t.Fatal("x0x0 must not contain xxx0")
+	}
+	if !Full(4).Contains(big) {
+		t.Fatal("universe contains everything")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := FromString("x0x0")
+	b := FromString("1xx0")
+	h, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("x0x0 and 1xx0 intersect")
+	}
+	if h.String() != "10x0" {
+		t.Fatalf("intersection = %s, want 10x0", h)
+	}
+	c := FromString("x1x1")
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("x0x0 and x1x1 are disjoint")
+	}
+}
+
+// TestPaperEncodingExample311 verifies the published solution of Example
+// 3.1.1: the face of each constraint intersects exactly the singletons of
+// its members.
+func TestPaperEncodingExample311(t *testing.T) {
+	faces := map[string]Face{
+		"1110000": FromString("x0x0"),
+		"0111000": FromString("1xx0"),
+		"0000111": FromString("x1x1"),
+		"1000110": FromString("0xxx"),
+		"0000011": FromString("x111"),
+		"0011000": FromString("1x00"),
+	}
+	codes := []Face{ // singletons of states 1..7
+		FromString("0000"), FromString("1010"), FromString("1000"),
+		FromString("1100"), FromString("0101"), FromString("0111"),
+		FromString("1111"),
+	}
+	for vec, f := range faces {
+		for s := 0; s < 7; s++ {
+			member := vec[s] == '1'
+			_, inter := f.Intersect(codes[s])
+			if member != inter {
+				t.Fatalf("constraint %s face %s: state %d membership=%v intersect=%v",
+					vec, f, s+1, member, inter)
+			}
+		}
+	}
+}
+
+func TestVertices(t *testing.T) {
+	f := FromString("x01x")
+	var got []uint64
+	f.Vertices(func(v uint64) { got = append(got, v) })
+	if len(got) != 4 {
+		t.Fatalf("got %d vertices, want 4", len(got))
+	}
+	for _, v := range got {
+		if !f.HasVertex(v) {
+			t.Fatalf("vertex %b not in face", v)
+		}
+	}
+}
+
+func TestGenCountsAndOrder(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		for l := 0; l <= k; l++ {
+			g := NewGen(k, l)
+			n := 0
+			seen := map[string]bool{}
+			for f, ok := g.Next(); ok; f, ok = g.Next() {
+				if f.Level() != l || f.K != k {
+					t.Fatalf("generated face %s has wrong shape", f)
+				}
+				if seen[f.String()] {
+					t.Fatalf("duplicate face %s", f)
+				}
+				seen[f.String()] = true
+				n++
+			}
+			if n != Count(k, l) {
+				t.Fatalf("Gen(%d,%d) yielded %d faces, want %d", k, l, n, Count(k, l))
+			}
+		}
+	}
+}
+
+func TestGenFirstFaces(t *testing.T) {
+	g := NewGen(3, 1)
+	f, ok := g.Next()
+	if !ok || f.String() != "x00" {
+		t.Fatalf("first level-1 face of 3-cube = %s, want x00", f)
+	}
+	f, _ = g.Next()
+	if f.String() != "x10" {
+		t.Fatalf("second = %s, want x10", f)
+	}
+}
+
+func TestVertexAndFull(t *testing.T) {
+	v := Vertex(4, 0b1010)
+	if v.Level() != 0 || !v.HasVertex(0b1010) || v.HasVertex(0b1011) {
+		t.Fatal("Vertex wrong")
+	}
+	if Full(4).Level() != 4 {
+		t.Fatal("Full wrong")
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestIntersectProperties(t *testing.T) {
+	f := func(av, ax, bv, bx uint8) bool {
+		a := Face{Val: uint64(av&^ax) & 0x3f, X: uint64(ax) & 0x3f, K: 6}
+		b := Face{Val: uint64(bv&^bx) & 0x3f, X: uint64(bx) & 0x3f, K: 6}
+		h1, ok1 := a.Intersect(b)
+		h2, ok2 := b.Intersect(a)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return h1.Equal(h2) && a.Contains(h1) && b.Contains(h1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Contains is equivalent to intersection equal to the smaller.
+func TestContainsIntersectionRelation(t *testing.T) {
+	f := func(av, ax, bv, bx uint8) bool {
+		a := Face{Val: uint64(av&^ax) & 0x1f, X: uint64(ax) & 0x1f, K: 5}
+		b := Face{Val: uint64(bv&^bx) & 0x1f, X: uint64(bx) & 0x1f, K: 5}
+		h, ok := a.Intersect(b)
+		want := ok && h.Equal(b)
+		return a.Contains(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

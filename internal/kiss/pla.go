@@ -1,0 +1,151 @@
+package kiss
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"nova/internal/cube"
+)
+
+// PLA is a two-level sum-of-products implementation with binary inputs and
+// outputs, the result of encoding an FSM. Inputs are the proper inputs
+// followed by the encoded symbolic inputs and the present-state code bits;
+// outputs are the next-state code bits followed by the proper outputs (the
+// ordering used by the paper's area model is immaterial, only the counts
+// matter).
+type PLA struct {
+	NI, NO int
+	Rows   []PLARow
+}
+
+// PLARow is one product term: In over {'0','1','-'}, Out over {'0','1','-'}
+// ('-' in the output means the term does not drive that output; '~' is not
+// used).
+type PLARow struct {
+	In, Out string
+}
+
+// AddRow appends a product term after width validation.
+func (p *PLA) AddRow(in, out string) error {
+	if len(in) != p.NI || len(out) != p.NO {
+		return fmt.Errorf("pla: row %q/%q does not match %d inputs / %d outputs", in, out, p.NI, p.NO)
+	}
+	p.Rows = append(p.Rows, PLARow{In: in, Out: out})
+	return nil
+}
+
+// Write emits the PLA in espresso .pla format (type fd).
+func (p *PLA) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".i %d\n.o %d\n.p %d\n", p.NI, p.NO, len(p.Rows))
+	for _, r := range p.Rows {
+		fmt.Fprintf(bw, "%s %s\n", r.In, r.Out)
+	}
+	fmt.Fprintln(bw, ".e")
+	return bw.Flush()
+}
+
+// String renders the PLA as .pla text.
+func (p *PLA) String() string {
+	var b strings.Builder
+	_ = p.Write(&b)
+	return b.String()
+}
+
+// Structure returns the cube structure of the PLA: one binary variable per
+// input and a single multiple-valued output variable with NO parts.
+func (p *PLA) Structure() *cube.Structure {
+	sizes := make([]int, p.NI+1)
+	for i := 0; i < p.NI; i++ {
+		sizes[i] = 2
+	}
+	sizes[p.NI] = p.NO
+	return cube.NewStructure(sizes...)
+}
+
+// OnSet translates the PLA rows into an on-set cover over Structure():
+// '1' output entries contribute the corresponding output part.
+func (p *PLA) OnSet() *cube.Cover {
+	s := p.Structure()
+	on := cube.NewCover(s)
+	for _, r := range p.Rows {
+		c := s.NewCube()
+		for i := 0; i < p.NI; i++ {
+			switch r.In[i] {
+			case '0':
+				s.Set(c, i, 0)
+			case '1':
+				s.Set(c, i, 1)
+			default:
+				s.Set(c, i, 0)
+				s.Set(c, i, 1)
+			}
+		}
+		any := false
+		for o := 0; o < p.NO; o++ {
+			if r.Out[o] == '1' {
+				s.Set(c, p.NI, o)
+				any = true
+			}
+		}
+		if any {
+			on.Add(c)
+		}
+	}
+	return on
+}
+
+// FromCover converts a cover over a structure of ni binary variables plus
+// one no-valued output variable back into PLA rows.
+func FromCover(f *cube.Cover, ni, no int) (*PLA, error) {
+	s := f.S
+	if s.NumVars() != ni+1 || s.Size(ni) != no {
+		return nil, fmt.Errorf("pla: cover structure does not match %d inputs / %d outputs", ni, no)
+	}
+	for v := 0; v < ni; v++ {
+		if s.Size(v) != 2 {
+			return nil, fmt.Errorf("pla: cover variable %d is not binary", v)
+		}
+	}
+	p := &PLA{NI: ni, NO: no}
+	for _, c := range f.Cubes {
+		in := make([]byte, ni)
+		for v := 0; v < ni; v++ {
+			zero, one := s.Test(c, v, 0), s.Test(c, v, 1)
+			switch {
+			case zero && one:
+				in[v] = '-'
+			case zero:
+				in[v] = '0'
+			case one:
+				in[v] = '1'
+			default:
+				return nil, fmt.Errorf("pla: empty input field in cube")
+			}
+		}
+		out := make([]byte, no)
+		for o := 0; o < no; o++ {
+			if s.Test(c, ni, o) {
+				out[o] = '1'
+			} else {
+				out[o] = '-'
+			}
+		}
+		if err := p.AddRow(string(in), string(out)); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Area returns the PLA area per the paper's model for an FSM encoded with
+// bits state bits: (2*(#inputs + #bits) + #bits + #outputs) * #cubes, where
+// #inputs and #outputs are the FSM's proper binary input/output counts.
+// For FSMs with symbolic inputs, the encoded symbolic-input bits are part
+// of #inputs as seen by the PLA; callers pass the total PLA input width
+// minus the state bits.
+func Area(properInputs, bits, properOutputs, cubes int) int {
+	return (2*(properInputs+bits) + bits + properOutputs) * cubes
+}

@@ -1,0 +1,99 @@
+package kiss
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePLABasic(t *testing.T) {
+	p, err := ParsePLAString(".i 3\n.o 2\n.p 2\n110 10\n--1 01\n.e\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NI != 3 || p.NO != 2 || len(p.Rows) != 2 {
+		t.Fatalf("shape %d/%d/%d", p.NI, p.NO, len(p.Rows))
+	}
+	if p.Rows[1].In != "--1" || p.Rows[1].Out != "01" {
+		t.Fatalf("row %+v", p.Rows[1])
+	}
+}
+
+func TestParsePLAFusedRow(t *testing.T) {
+	p, err := ParsePLAString(".i 2\n.o 1\n011\n.e\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows[0].In != "01" || p.Rows[0].Out != "1" {
+		t.Fatalf("row %+v", p.Rows[0])
+	}
+}
+
+func TestParsePLADCOutput(t *testing.T) {
+	p, err := ParsePLAString(".i 1\n.o 2\n.type fd\n0 14\n.e\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows[0].Out != "1-" {
+		t.Fatalf("espresso '4' marker not normalized: %q", p.Rows[0].Out)
+	}
+}
+
+func TestParsePLAErrors(t *testing.T) {
+	cases := []string{
+		"0 1\n",                      // rows before header
+		".i 1\n.o 1\n.p 5\n0 1\n.e",  // wrong .p
+		".i 1\n.o 1\n.bogus\n0 1\n",  // unknown directive
+		".i 1\n.o 1\nz 1\n",          // bad input char
+		".i 1\n.o 1\n0 z\n",          // bad output char
+		".i 1\n.o 1\n.type xyz\n0 1", // bad type
+		".i 2\n.o 1\n0 1\n",          // width mismatch
+	}
+	for _, c := range cases {
+		if _, err := ParsePLAString(c); err == nil {
+			t.Fatalf("want error for %q", c)
+		}
+	}
+}
+
+func TestParsePLARoundTrip(t *testing.T) {
+	text := ".i 4\n.o 3\n.p 3\n1-01 1--\n0--- -1-\n---- --1\n.e\n"
+	p, err := ParsePLAString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParsePLAString(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != len(p.Rows) {
+		t.Fatal("row count changed")
+	}
+	for i := range p.Rows {
+		if p.Rows[i] != q.Rows[i] {
+			t.Fatalf("row %d changed: %+v vs %+v", i, p.Rows[i], q.Rows[i])
+		}
+	}
+}
+
+func TestSplitTypeFD(t *testing.T) {
+	p, err := ParsePLAString(".i 2\n.o 2\n01 1-\n10 -1\n11 00\n.e\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, dc := p.Split()
+	if len(on.Rows) != 2 {
+		t.Fatalf("on rows = %d, want 2", len(on.Rows))
+	}
+	if len(dc.Rows) != 2 {
+		t.Fatalf("dc rows = %d, want 2", len(dc.Rows))
+	}
+	if on.Rows[0].Out != "1-" || dc.Rows[0].Out != "-1" {
+		t.Fatalf("split outputs wrong: %+v %+v", on.Rows[0], dc.Rows[0])
+	}
+	// The all-zero output row contributes to neither cover.
+	for _, r := range append(on.Rows, dc.Rows...) {
+		if strings.Count(r.Out, "1") == 0 {
+			t.Fatal("row with no asserted output leaked into a cover")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package kiss
+
+import (
+	"strings"
+	"testing"
+)
+
+func symbolicFSM(t *testing.T) *FSM {
+	t.Helper()
+	f := New("sym", 1, 1)
+	f.AddSymbolicInput("cmd", "rd", "wr")
+	f.AddSymbolicOutput("phase", "p0", "p1", "p2")
+	add := func(in string, si []string, ps, ns, out string, so []string) {
+		t.Helper()
+		if err := f.AddRowSym(in, si, ps, ns, out, so); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("0", []string{"rd"}, "a", "b", "1", []string{"p0"})
+	add("0", []string{"wr"}, "a", "a", "0", []string{"p1"})
+	add("1", []string{"-"}, "a", "c", "0", []string{"p2"})
+	add("-", []string{"-"}, "b", "a", "1", []string{"-"})
+	add("-", []string{"rd"}, "c", "b", "0", []string{"p0"})
+	add("-", []string{"wr"}, "c", "c", "1", []string{"p1"})
+	f.SetReset("a")
+	return f
+}
+
+func TestSymbolicRoundTrip(t *testing.T) {
+	f := symbolicFSM(t)
+	text := f.String()
+	if !strings.Contains(text, ".symin cmd rd wr") || !strings.Contains(text, ".symout phase p0 p1 p2") {
+		t.Fatalf("directives missing:\n%s", text)
+	}
+	g, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if len(g.SymIns) != 1 || len(g.SymOuts) != 1 {
+		t.Fatal("symbolic variables lost")
+	}
+	if g.NumTerms() != f.NumTerms() || g.NumStates() != f.NumStates() {
+		t.Fatal("shape changed")
+	}
+	for i := range f.Rows {
+		a, b := f.Rows[i], g.Rows[i]
+		if a.In != b.In || a.Present != b.Present || a.Next != b.Next || a.Out != b.Out {
+			t.Fatalf("row %d basic fields differ", i)
+		}
+		if a.SymIn[0] != b.SymIn[0] || a.SymOut[0] != b.SymOut[0] {
+			t.Fatalf("row %d symbolic fields differ", i)
+		}
+	}
+}
+
+func TestAddRowRejectsWithSymOuts(t *testing.T) {
+	f := New("x", 1, 1)
+	f.AddSymbolicOutput("o", "a", "b")
+	if err := f.AddRow("0", "s", "s", "1"); err == nil {
+		t.Fatal("AddRow must be rejected when symbolic outputs exist")
+	}
+}
+
+func TestAddRowSymValidation(t *testing.T) {
+	f := New("x", 1, 1)
+	f.AddSymbolicOutput("o", "a", "b")
+	if err := f.AddRowSym("0", nil, "s", "s", "1", []string{"zzz"}); err == nil {
+		t.Fatal("unknown symbolic output value must fail")
+	}
+	if err := f.AddRowSym("0", nil, "s", "s", "1", nil); err == nil {
+		t.Fatal("missing symbolic output field must fail")
+	}
+}
+
+func TestDeterministicSymOutConflict(t *testing.T) {
+	f := New("x", 1, 1)
+	f.AddSymbolicOutput("o", "a", "b")
+	if err := f.AddRowSym("-", nil, "s", "s", "1", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddRowSym("0", nil, "s", "s", "1", []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := f.Deterministic(); ok {
+		t.Fatal("conflicting symbolic outputs not flagged")
+	}
+}
+
+func TestValidateSymOutRange(t *testing.T) {
+	f := symbolicFSM(t)
+	f.Rows[0].SymOut[0] = 99
+	if err := f.Validate(); err == nil {
+		t.Fatal("out-of-range symbolic output not caught")
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(".i 1\n.o 1\n0 a b 1\n1 b a 0\n.e\n")
+	f.Add(".i 2\n.o 2\n.s 2\n.r x\n-- x y 01\n01 y x 1-\n.e\n")
+	f.Add(".i 1\n.o 1\n.symin c u v\n.symout o p q\n0 u a b 1 p\n1 - b a 0 -\n.e\n")
+	f.Add(".i 0\n.o 1\n- a a 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		fsm, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		// Whatever parses must validate and round-trip through Write.
+		if verr := fsm.Validate(); verr != nil {
+			t.Fatalf("parsed FSM fails validation: %v\ninput: %q", verr, input)
+		}
+		if _, rerr := ParseString(fsm.String()); rerr != nil {
+			t.Fatalf("round trip failed: %v\noutput: %q", rerr, fsm.String())
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package mlopt
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"nova/internal/cube"
+)
+
+func mkCover(nin, nout int, rows [][2]string) *cube.Cover {
+	sizes := make([]int, nin+1)
+	for i := 0; i < nin; i++ {
+		sizes[i] = 2
+	}
+	sizes[nin] = nout
+	s := cube.NewStructure(sizes...)
+	f := cube.NewCover(s)
+	for _, r := range rows {
+		c := s.NewCube()
+		for i, ch := range r[0] {
+			switch ch {
+			case '0':
+				s.Set(c, i, 0)
+			case '1':
+				s.Set(c, i, 1)
+			default:
+				s.SetAll(c, i)
+			}
+		}
+		for o, ch := range r[1] {
+			if ch == '1' {
+				s.Set(c, nin, o)
+			}
+		}
+		f.Add(c)
+	}
+	return f
+}
+
+func TestFromCoverLiterals(t *testing.T) {
+	// f0 = ab, f1 = ab + c': literals = 2 + (2+1) = 5.
+	f := mkCover(3, 2, [][2]string{
+		{"11-", "11"},
+		{"--0", "01"},
+	})
+	n := FromCover(f, 3)
+	if got := n.Literals(); got != 5 {
+		t.Fatalf("Literals = %d, want 5", got)
+	}
+	if len(n.Outputs) != 2 {
+		t.Fatalf("outputs = %d", len(n.Outputs))
+	}
+}
+
+func TestCubeOps(t *testing.T) {
+	a := Cube{0, 2, 5}
+	b := Cube{2, 5}
+	if !contains(a, b) || contains(b, a) {
+		t.Fatal("contains wrong")
+	}
+	if got := minus(a, b); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("minus = %v", got)
+	}
+	if got := intersect(a, Cube{2, 3, 5}); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("intersect = %v", got)
+	}
+}
+
+func TestCommonCubeExtraction(t *testing.T) {
+	// Three cubes sharing abc: extracting it saves 3*(3-1) - 3 = 3.
+	f := mkCover(5, 1, [][2]string{
+		{"111-1", "1"},
+		{"1111-", "1"},
+		{"11101", "1"},
+	})
+	n := FromCover(f, 5)
+	before := n.Literals()
+	n.Optimize(Options{DisableKernels: true})
+	after := n.Literals()
+	if after >= before {
+		t.Fatalf("no improvement: %d -> %d", before, after)
+	}
+	if before-after < 3 {
+		t.Fatalf("gain = %d, want >= 3", before-after)
+	}
+}
+
+func TestKernelExtraction(t *testing.T) {
+	// f0 = ad + bd, f1 = ae + be: kernel (a+b) shared by both.
+	f := mkCover(5, 2, [][2]string{
+		{"1--1-", "10"},
+		{"-1-1-", "10"},
+		{"1---1", "01"},
+		{"-1--1", "01"},
+	})
+	n := FromCover(f, 5)
+	before := n.Literals() // 8
+	n.Optimize(Options{})
+	after := n.Literals()
+	if after >= before {
+		t.Fatalf("kernel not extracted: %d -> %d", before, after)
+	}
+}
+
+func TestDivide(t *testing.T) {
+	// f = ad + bd + ae + be + c; d = a + b -> quotient {d, e}.
+	nd := &Node{Cubes: []Cube{{0, 6}, {2, 6}, {0, 8}, {2, 8}, {4}}}
+	q := divide(nd, []Cube{{0}, {2}})
+	if len(q) != 2 {
+		t.Fatalf("quotient = %v", q)
+	}
+	var got []int
+	for _, c := range q {
+		if len(c) != 1 {
+			t.Fatalf("quotient cube %v", c)
+		}
+		got = append(got, c[0])
+	}
+	sort.Ints(got)
+	if got[0] != 6 || got[1] != 8 {
+		t.Fatalf("quotient literals = %v", got)
+	}
+	if q2 := divide(nd, []Cube{{0}, {10}}); q2 != nil {
+		t.Fatalf("non-divisor should give empty quotient, got %v", q2)
+	}
+}
+
+func TestKernels(t *testing.T) {
+	// f = ab + ac: kernel for co-kernel a is (b + c).
+	nd := &Node{Cubes: []Cube{{0, 2}, {0, 4}}}
+	ks := kernels(nd)
+	if len(ks) == 0 {
+		t.Fatal("no kernels found")
+	}
+	found := false
+	for _, k := range ks {
+		if len(k) == 2 && len(k[0]) == 1 && len(k[1]) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("kernel (b+c) not found: %v", ks)
+	}
+}
+
+// evalNetwork evaluates the network at an input assignment.
+func evalNetwork(n *Network, in []bool) []bool {
+	val := map[int]bool{}
+	for v := 0; v < n.NumIn; v++ {
+		val[v] = in[v]
+	}
+	var nodeOf = map[int]*Node{}
+	for _, nd := range n.Nodes {
+		nodeOf[nd.Var] = nd
+	}
+	var eval func(v int) bool
+	eval = func(v int) bool {
+		if x, ok := val[v]; ok {
+			return x
+		}
+		nd := nodeOf[v]
+		res := false
+		for _, c := range nd.Cubes {
+			all := true
+			for _, l := range c {
+				b := eval(l / 2)
+				if l%2 == 1 {
+					b = !b
+				}
+				if !b {
+					all = false
+					break
+				}
+			}
+			if all {
+				res = true
+				break
+			}
+		}
+		val[v] = res
+		return res
+	}
+	out := make([]bool, len(n.Outputs))
+	for i, oi := range n.Outputs {
+		out[i] = eval(n.Nodes[oi].Var)
+	}
+	return out
+}
+
+// Property: optimization preserves functionality on random covers.
+func TestOptimizePreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		nin := 4 + rng.Intn(3)
+		nout := 1 + rng.Intn(3)
+		var rows [][2]string
+		for r := 0; r < 3+rng.Intn(8); r++ {
+			in := make([]byte, nin)
+			for i := range in {
+				in[i] = "01-"[rng.Intn(3)]
+			}
+			out := make([]byte, nout)
+			any := false
+			for i := range out {
+				if rng.Intn(2) == 0 {
+					out[i] = '1'
+					any = true
+				} else {
+					out[i] = '0'
+				}
+			}
+			if !any {
+				out[0] = '1'
+			}
+			rows = append(rows, [2]string{string(in), string(out)})
+		}
+		f := mkCover(nin, nout, rows)
+		ref := FromCover(f, nin)
+		opt := FromCover(f, nin)
+		opt.Optimize(Options{})
+		for v := 0; v < 1<<uint(nin); v++ {
+			in := make([]bool, nin)
+			for i := range in {
+				in[i] = v&(1<<uint(i)) != 0
+			}
+			a := evalNetwork(ref, in)
+			b := evalNetwork(opt, in)
+			for o := range a {
+				if a[o] != b[o] {
+					t.Fatalf("trial %d: output %d differs at input %b", trial, o, v)
+				}
+			}
+		}
+	}
+}
+
+// Property: optimization never increases the literal count.
+func TestOptimizeMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		var rows [][2]string
+		for r := 0; r < 10; r++ {
+			in := make([]byte, 6)
+			for i := range in {
+				in[i] = "01-"[rng.Intn(3)]
+			}
+			rows = append(rows, [2]string{string(in), "1"})
+		}
+		f := mkCover(6, 1, rows)
+		n := FromCover(f, 6)
+		before := n.Literals()
+		n.Optimize(Options{})
+		if n.Literals() > before {
+			t.Fatalf("trial %d: literals grew %d -> %d", trial, before, n.Literals())
+		}
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	f := mkCover(3, 1, [][2]string{{"11-", "1"}, {"--0", "1"}})
+	n := FromCover(f, 3)
+	s := n.String()
+	if s == "" || len(s) < 5 {
+		t.Fatalf("String = %q", s)
+	}
+	// d is the first output node (inputs a,b,c): "d = a·b + c'".
+	if s != "d = a·b + c'\n" {
+		t.Fatalf("rendering = %q", s)
+	}
+}

@@ -1,0 +1,204 @@
+package mvmin
+
+import (
+	"testing"
+
+	"nova/internal/encoding"
+	"nova/internal/espresso"
+	"nova/internal/kiss"
+)
+
+// counterFSM is a fully specified modulo-4 up/down counter: input 0 counts
+// up, 1 counts down; output is the MSB of the count.
+func counterFSM(t *testing.T) *kiss.FSM {
+	t.Helper()
+	f := kiss.New("mod4", 1, 1)
+	names := []string{"c0", "c1", "c2", "c3"}
+	out := []string{"0", "0", "1", "1"}
+	for i := 0; i < 4; i++ {
+		f.MustAddRow("0", names[i], names[(i+1)%4], out[(i+1)%4])
+		f.MustAddRow("1", names[i], names[(i+3)%4], out[(i+3)%4])
+	}
+	f.SetReset("c0")
+	return f
+}
+
+func TestBuildStructure(t *testing.T) {
+	f := counterFSM(t)
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 input var + state var + output var.
+	if p.S.NumVars() != 3 {
+		t.Fatalf("vars = %d, want 3", p.S.NumVars())
+	}
+	if p.S.Size(p.StateVar) != 4 {
+		t.Fatalf("state var size = %d", p.S.Size(p.StateVar))
+	}
+	if p.S.Size(p.OutVar) != 4+1 {
+		t.Fatalf("output var size = %d, want 5", p.S.Size(p.OutVar))
+	}
+	if p.On.Len() != 8 {
+		t.Fatalf("on-set has %d cubes, want 8", p.On.Len())
+	}
+	// Fully specified machine: the input-space complement is empty, so no
+	// full-output DC rows.
+	for _, d := range p.Dc.Cubes {
+		if p.S.VarFull(d, p.OutVar) {
+			t.Fatal("fully-specified FSM should have no unspecified-space DC")
+		}
+	}
+}
+
+func TestBuildpartialDC(t *testing.T) {
+	f := kiss.New("partial", 1, 1)
+	f.MustAddRow("0", "a", "b", "1")
+	f.MustAddRow("1", "b", "a", "0")
+	// (1, a) and (0, b) unspecified.
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDC := 0
+	for _, d := range p.Dc.Cubes {
+		if p.S.VarFull(d, p.OutVar) {
+			fullDC++
+		}
+	}
+	if fullDC == 0 {
+		t.Fatal("partially specified FSM must produce unspecified-space DC")
+	}
+}
+
+func TestMinimizeGroupsStates(t *testing.T) {
+	// Four states all going to the same next state with the same output
+	// under input 0: minimization must merge them into one cube whose
+	// present-state literal is the full set (hence no constraint).
+	f := kiss.New("merge", 1, 1)
+	for _, s := range []string{"a", "b", "c", "d"} {
+		f.MustAddRow("0", s, "a", "1")
+	}
+	f.MustAddRow("1", "a", "b", "0")
+	f.MustAddRow("1", "b", "c", "0")
+	f.MustAddRow("1", "c", "d", "0")
+	f.MustAddRow("1", "d", "a", "0")
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := p.Minimize(espresso.Options{})
+	if min.Len() >= p.On.Len() {
+		t.Fatalf("minimization did not shrink: %d -> %d", p.On.Len(), min.Len())
+	}
+	// The input-0 group must have merged.
+	found := false
+	for _, c := range min.Cubes {
+		if p.S.VarCount(c, p.StateVar) == 4 && p.S.Test(c, p.OutVar, 0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected a merged cube over all four states")
+	}
+}
+
+func TestConstraintsExtraction(t *testing.T) {
+	// Two states mapped by input 0 to the same next state and output form
+	// an input constraint {a,b}.
+	f := kiss.New("pair", 1, 1)
+	f.MustAddRow("0", "a", "d", "1")
+	f.MustAddRow("0", "b", "d", "1")
+	f.MustAddRow("0", "c", "a", "0")
+	f.MustAddRow("0", "d", "a", "0")
+	f.MustAddRow("1", "a", "a", "0")
+	f.MustAddRow("1", "b", "b", "0")
+	f.MustAddRow("1", "c", "c", "1")
+	f.MustAddRow("1", "d", "c", "1")
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := p.Minimize(espresso.Options{})
+	cs := p.Constraints(min)
+	if len(cs.States) == 0 {
+		t.Fatalf("no input constraints extracted from:\n%s", min)
+	}
+	// State indices follow first appearance: a=0, d=1, b=2, c=3, so the
+	// merged groups {a,b} and {c,d} are the vectors 1010 and 0101.
+	want := map[string]bool{"1010": true, "0101": true}
+	seen := map[string]bool{}
+	for _, c := range cs.States {
+		seen[c.Set.String()] = true
+		if c.Weight < 1 {
+			t.Fatalf("constraint %s has weight %d", c.Set, c.Weight)
+		}
+	}
+	for v, must := range want {
+		if must && !seen[v] {
+			t.Fatalf("expected constraint %s, got %v", v, seen)
+		}
+	}
+}
+
+func TestOneHotCubes(t *testing.T) {
+	f := counterFSM(t)
+	p, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh := p.OneHotCubes(espresso.Options{})
+	if oh <= 0 || oh > f.NumTerms() {
+		t.Fatalf("1-hot cubes = %d out of range (terms %d)", oh, f.NumTerms())
+	}
+}
+
+func TestEncodePLAAndMeasure(t *testing.T) {
+	f := counterFSM(t)
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 3, 2}}}
+	m, err := Measure(f, asg, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bits != 2 {
+		t.Fatalf("bits = %d", m.Bits)
+	}
+	if m.Cubes <= 0 || m.Cubes > 8 {
+		t.Fatalf("cubes = %d out of range", m.Cubes)
+	}
+	wantArea := (2*(1+2) + 2 + 1) * m.Cubes
+	if m.Area != wantArea {
+		t.Fatalf("area = %d, want %d", m.Area, wantArea)
+	}
+}
+
+func TestEncodePLARejectsBadAssignment(t *testing.T) {
+	f := counterFSM(t)
+	// Duplicate codes.
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 1, 2}}}
+	if _, err := EncodePLA(f, asg); err == nil {
+		t.Fatal("want error for duplicate codes")
+	}
+	// Wrong number of codes.
+	asg = encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1}}}
+	if _, err := EncodePLA(f, asg); err == nil {
+		t.Fatal("want error for missing codes")
+	}
+}
+
+func TestGrayVsBadEncodingCubes(t *testing.T) {
+	// For the counter, a Gray-ish assignment should do no worse than an
+	// adversarial one (weak sanity check that the encoding matters).
+	f := counterFSM(t)
+	gray, err := Measure(f, encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 3, 2}}}, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := Measure(f, encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 3, 1, 2}}}, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gray.Cubes > nat.Cubes+2 {
+		t.Fatalf("gray %d much worse than adversarial %d", gray.Cubes, nat.Cubes)
+	}
+}

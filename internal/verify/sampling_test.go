@@ -1,0 +1,89 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nova/internal/cube"
+	"nova/internal/encoding"
+	"nova/internal/espresso"
+	"nova/internal/kiss"
+	"nova/internal/mvmin"
+)
+
+// buildCover encodes and minimizes an FSM for the sampling tests.
+func buildCover(f *kiss.FSM, asg encoding.Assignment) (*cube.Cover, error) {
+	e, err := mvmin.EncodePLA(f, asg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Minimize(espresso.Options{}), nil
+}
+
+// wideFSM has more inputs than the exhaustive threshold so Equivalent
+// exercises the sampling path.
+func wideFSM(t *testing.T) *kiss.FSM {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	f := kiss.New("wide", 4, 1)
+	states := []string{"w0", "w1", "w2"}
+	for _, s := range states {
+		// Fully specified via four input cubes on the first two bits.
+		for v := 0; v < 4; v++ {
+			in := fmt.Sprintf("%d%d--", v&1, v>>1)
+			f.MustAddRow(in, s, states[rng.Intn(3)], fmt.Sprintf("%d", rng.Intn(2)))
+		}
+	}
+	return f
+}
+
+func TestEquivalentSamplingMode(t *testing.T) {
+	f := wideFSM(t)
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 2}}}
+	if err := EquivalentFSM(f, asg, Options{MaxExhaustiveInputs: 2, Samples: 32, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquivalentSamplingCatchesBadCover(t *testing.T) {
+	f := wideFSM(t)
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 2}}}
+	e, err := buildCover(f, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop half the cover: sampling must notice.
+	e.Cubes = e.Cubes[:len(e.Cubes)/2]
+	if err := Equivalent(f, asg, e, Options{MaxExhaustiveInputs: 2, Samples: 64, Seed: 5}); err == nil {
+		t.Fatal("sampling missed a gutted cover")
+	}
+}
+
+func TestEquivalentStructureMismatch(t *testing.T) {
+	f := wideFSM(t)
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 2}}}
+	e, err := buildCover(f, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong assignment shape vs cover.
+	bad := encoding.Assignment{States: encoding.Encoding{Bits: 3, Codes: []uint64{0, 1, 2}}}
+	if err := Equivalent(f, bad, e, Options{}); err == nil {
+		t.Fatal("structure mismatch not reported")
+	}
+}
+
+func TestEvalCover(t *testing.T) {
+	f := wideFSM(t)
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 2}}}
+	cov, err := buildCover(f, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nin := f.NI + asg.States.Bits
+	out := EvalCover(cov, nin, 0)
+	if len(out) != asg.States.Bits+f.NO {
+		t.Fatalf("output width %d", len(out))
+	}
+}

@@ -1,0 +1,104 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nova/internal/cube"
+	"nova/internal/encoding"
+	"nova/internal/kiss"
+)
+
+// Trajectory checking: beyond per-transition equivalence, run the symbolic
+// machine and the encoded machine side by side on an input stream from the
+// reset state and compare the full output trace. This catches encoding
+// errors that only manifest along reachable paths.
+
+// StepResult is one step of a trajectory.
+type StepResult struct {
+	Input  uint64
+	State  int
+	Next   int
+	Out    []byte
+	SymOut []int
+}
+
+// RunSequence drives both machines for len(inputs) steps starting at the
+// reset state (state 0 when none is declared), comparing next-state codes
+// and outputs at every step. Steps whose symbolic behaviour is unspecified
+// terminate the run (the machines are free to diverge afterwards). The
+// trace of executed steps is returned.
+func RunSequence(f *kiss.FSM, asg encoding.Assignment, cov *cube.Cover, inputs []uint64, symIns [][]int) ([]StepResult, error) {
+	state := f.Reset
+	if state < 0 {
+		state = 0
+	}
+	nin := f.NI + asg.InputBits() + asg.States.Bits
+	sb := asg.States.Bits
+	var trace []StepResult
+	for step, in := range inputs {
+		var sv []int
+		if symIns != nil {
+			sv = symIns[step]
+		} else {
+			sv = make([]int, len(f.SymIns))
+		}
+		exp := Simulate(f, in, sv, state)
+		if exp.Next < 0 {
+			break // unspecified: stop the trajectory
+		}
+		point := in
+		shift := uint(f.NI)
+		for j, v := range sv {
+			point |= asg.SymIns[j].Codes[v] << shift
+			shift += uint(asg.SymIns[j].Bits)
+		}
+		point |= asg.States.Codes[state] << shift
+		got := EvalCover(cov, nin, point)
+		want := asg.States.Codes[exp.Next]
+		for b := 0; b < sb; b++ {
+			if got[b] != (want&(1<<uint(b)) != 0) {
+				return trace, fmt.Errorf("verify: step %d state %s: encoded next-state bit %d diverges", step, f.States[state], b)
+			}
+		}
+		for o := 0; o < f.NO; o++ {
+			switch exp.Out[o] {
+			case '1':
+				if !got[sb+o] {
+					return trace, fmt.Errorf("verify: step %d state %s: output %d low", step, f.States[state], o)
+				}
+			case '0':
+				if got[sb+o] {
+					return trace, fmt.Errorf("verify: step %d state %s: output %d high", step, f.States[state], o)
+				}
+			}
+		}
+		trace = append(trace, StepResult{Input: in, State: state, Next: exp.Next, Out: exp.Out, SymOut: exp.SymOut})
+		state = exp.Next
+	}
+	return trace, nil
+}
+
+// RandomWalk drives RunSequence with a seeded random input stream of the
+// given length.
+func RandomWalk(f *kiss.FSM, asg encoding.Assignment, cov *cube.Cover, steps int, seed int64) ([]StepResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([]uint64, steps)
+	var symIns [][]int
+	if len(f.SymIns) > 0 {
+		symIns = make([][]int, steps)
+	}
+	for i := range inputs {
+		if f.NI > 0 {
+			inputs[i] = rng.Uint64() & ((1 << uint(f.NI)) - 1)
+		}
+		if symIns != nil {
+			sv := make([]int, len(f.SymIns))
+			for j := range sv {
+				sv[j] = rng.Intn(len(f.SymIns[j].Values))
+			}
+			symIns[i] = sv
+		}
+	}
+	return RunSequence(f, asg, cov, inputs, symIns)
+}

@@ -1,0 +1,65 @@
+package verify
+
+import (
+	"testing"
+
+	"nova/internal/encoding"
+	"nova/internal/kiss"
+)
+
+func TestRandomWalkCounter(t *testing.T) {
+	f := counterFSM(t)
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 3, 2}}}
+	cov, err := buildCover(f, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := RandomWalk(f, asg, cov, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 200 {
+		t.Fatalf("trace has %d steps, want 200 (fully specified machine)", len(trace))
+	}
+}
+
+func TestRandomWalkCatchesCorruption(t *testing.T) {
+	f := counterFSM(t)
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 3, 2}}}
+	cov, err := buildCover(f, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov.Cubes = cov.Cubes[1:]
+	if _, err := RandomWalk(f, asg, cov, 200, 1); err == nil {
+		t.Fatal("walk over a corrupted cover should fail")
+	}
+}
+
+func TestRunSequenceStopsAtUnspecified(t *testing.T) {
+	// A two-state machine where the dead state has no outgoing rows: the
+	// walk must stop after entering it.
+	g := newPartial(t)
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 1, Codes: []uint64{0, 1}}}
+	cov, err := buildCover(g, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := RunSequence(g, asg, cov, []uint64{1, 0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 1 {
+		t.Fatalf("trace has %d steps, want 1 (stops at unspecified)", len(trace))
+	}
+}
+
+func newPartial(t *testing.T) *kiss.FSM {
+	t.Helper()
+	g := kiss.New("partialwalk", 1, 1)
+	g.MustAddRow("0", "live", "live", "0")
+	g.MustAddRow("1", "live", "dead", "1")
+	// "dead" has no outgoing rows at all.
+	g.SetReset("live")
+	return g
+}

@@ -1,0 +1,156 @@
+package verify
+
+import (
+	"testing"
+
+	"nova/internal/constraint"
+	"nova/internal/encode"
+	"nova/internal/encoding"
+	"nova/internal/espresso"
+	"nova/internal/kiss"
+	"nova/internal/mvmin"
+)
+
+func counterFSM(t *testing.T) *kiss.FSM {
+	t.Helper()
+	f := kiss.New("mod4", 1, 1)
+	names := []string{"c0", "c1", "c2", "c3"}
+	out := []string{"0", "0", "1", "1"}
+	for i := 0; i < 4; i++ {
+		f.MustAddRow("0", names[i], names[(i+1)%4], out[(i+1)%4])
+		f.MustAddRow("1", names[i], names[(i+3)%4], out[(i+3)%4])
+	}
+	return f
+}
+
+func TestSimulate(t *testing.T) {
+	f := counterFSM(t)
+	exp := Simulate(f, 0, nil, 0) // input 0 in state c0 -> c1, out 0
+	if exp.Next != 1 || exp.Out[0] != '0' {
+		t.Fatalf("exp = %+v", exp)
+	}
+	// Count down -> c3; state registration order is c0,c1,c3,c2, so the
+	// index of c3 is 2.
+	exp = Simulate(f, 1, nil, 0)
+	if exp.Next != f.StateIndex("c3") || exp.Out[0] != '1' {
+		t.Fatalf("exp = %+v", exp)
+	}
+}
+
+func TestSimulateUnspecified(t *testing.T) {
+	f := kiss.New("p", 1, 1)
+	f.MustAddRow("0", "a", "b", "1")
+	f.MustAddRow("1", "b", "a", "0")
+	exp := Simulate(f, 1, nil, 0) // (1, a) unspecified
+	if exp.Next != -1 || exp.Out[0] != '-' {
+		t.Fatalf("exp = %+v, want unspecified", exp)
+	}
+}
+
+func TestEquivalenceGoodEncoding(t *testing.T) {
+	f := counterFSM(t)
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 3, 2}}}
+	if err := EquivalentFSM(f, asg, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquivalenceDetectsCorruption(t *testing.T) {
+	f := counterFSM(t)
+	asg := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 3, 2}}}
+	e, err := mvmin.EncodePLA(f, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := e.Minimize(espresso.Options{})
+	if err := Equivalent(f, asg, min, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the cover: drop one cube. The machine must now misbehave.
+	min.Cubes = min.Cubes[1:]
+	if err := Equivalent(f, asg, min, Options{}); err == nil {
+		t.Fatal("corrupted cover should not verify")
+	}
+}
+
+func TestEquivalenceAllEncoders(t *testing.T) {
+	f := counterFSM(t)
+	p, err := mvmin.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ics := p.Constraints(p.Minimize(espresso.Options{})).States
+	n := f.NumStates()
+	algos := map[string]encoding.Encoding{
+		"iexact":  encode.IExact(n, ics, encode.ExactOptions{}).Enc,
+		"ihybrid": encode.IHybrid(n, ics, 0, encode.HybridOptions{}).Enc,
+		"igreedy": encode.IGreedy(n, ics, 0).Enc,
+	}
+	for name, enc := range algos {
+		if len(enc.Codes) == 0 {
+			t.Fatalf("%s returned no encoding", name)
+		}
+		asg := encoding.Assignment{States: enc}
+		if err := EquivalentFSM(f, asg, Options{}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestEquivalenceWithSymbolicInput(t *testing.T) {
+	f := kiss.New("sym", 1, 1)
+	f.AddSymbolicInput("cmd", "go", "stop", "turn")
+	f.MustAddRow("-", "idle", "run", "0", "go")
+	f.MustAddRow("-", "idle", "idle", "0", "stop")
+	f.MustAddRow("-", "idle", "turning", "0", "turn")
+	f.MustAddRow("0", "run", "run", "1", "-")
+	f.MustAddRow("1", "run", "idle", "0", "-")
+	f.MustAddRow("-", "turning", "idle", "1", "-")
+	asg := encoding.Assignment{
+		States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 2}},
+		SymIns: []encoding.Encoding{{Bits: 2, Codes: []uint64{0, 1, 2}}},
+	}
+	if err := EquivalentFSM(f, asg, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatisfiedConstraintsHelp(t *testing.T) {
+	// Cross-check encode.Satisfied against the PLA-level effect: when the
+	// constraint {a,b} is satisfied, the two rows merge; verify this
+	// indirectly via cube counts on a crafted FSM.
+	f := kiss.New("pair", 1, 1)
+	f.MustAddRow("0", "a", "d", "1")
+	f.MustAddRow("0", "b", "d", "1")
+	f.MustAddRow("0", "c", "a", "0")
+	f.MustAddRow("0", "d", "a", "0")
+	f.MustAddRow("1", "a", "a", "0")
+	f.MustAddRow("1", "b", "b", "0")
+	f.MustAddRow("1", "c", "c", "1")
+	f.MustAddRow("1", "d", "c", "1")
+	// a=0, d=1, b=2, c=3. Good: {a,b}={0,2} adjacent, {c,d}={1,3} adjacent.
+	good := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 2, 3}}}
+	// Bad: {a,b} diagonal.
+	bad := encoding.Assignment{States: encoding.Encoding{Bits: 2, Codes: []uint64{0, 1, 3, 2}}}
+	ab := constraint.MustFromString("1010")
+	if !encode.Satisfied(good.States, ab) || encode.Satisfied(bad.States, ab) {
+		t.Fatal("constraint satisfaction labels wrong")
+	}
+	gm, err := mvmin.Measure(f, good, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := mvmin.Measure(f, bad, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Cubes > bm.Cubes {
+		t.Fatalf("satisfying encoding has more cubes (%d) than violating one (%d)", gm.Cubes, bm.Cubes)
+	}
+	if err := EquivalentFSM(f, good, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EquivalentFSM(f, bad, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package nova reimplements NOVA (Villa & Sangiovanni-Vincentelli, DAC'89 /
+// IEEE TCAD 9(9), 1990): optimal state assignment of finite state machines
+// for two-level (PLA) logic implementations.
+//
+// The pipeline is the paper's: the FSM's combinational component is
+// represented as a multiple-valued symbolic cover and minimized with the
+// built-in ESPRESSO-MV-style minimizer; the minimized cover yields weighted
+// input constraints (face-embedding constraints on the state codes) and,
+// via symbolic minimization, output covering constraints; one of the
+// encoding algorithms (iexact_code, ihybrid_code, igreedy_code,
+// iohybrid_code, iovariant_code) assigns codes; the encoded machine is
+// minimized again to obtain the final product-term count and PLA area.
+//
+// Quick start:
+//
+//	fsm, _ := nova.ParseKISSString(table)
+//	res, _ := nova.Encode(fsm, nova.Options{Algorithm: nova.IHybrid})
+//	fmt.Println(res.Assignment.States, res.Cubes, res.Area)
+//	fmt.Print(res.PLA)
+//
+// The comparison baselines of the paper's evaluation (KISS-style complete
+// constraint satisfaction, MUSTANG-style attraction-weight embedding,
+// random and 1-hot assignments) are available through the same entry
+// point.
+package nova
+
+import (
+	"fmt"
+	"io"
+
+	"nova/internal/baseline"
+	"nova/internal/constraint"
+	"nova/internal/encode"
+	"nova/internal/encoding"
+	"nova/internal/espresso"
+	"nova/internal/kiss"
+	"nova/internal/mvmin"
+	"nova/internal/symbolic"
+	"nova/internal/verify"
+)
+
+// FSM is a finite state machine given as a state transition table; see
+// NewFSM and ParseKISS.
+type FSM = kiss.FSM
+
+// PLA is the encoded two-level implementation.
+type PLA = kiss.PLA
+
+// Encoding assigns binary codes to the values of one symbolic variable.
+type Encoding = encoding.Encoding
+
+// Assignment is a complete FSM encoding: states plus symbolic inputs.
+type Assignment = encoding.Assignment
+
+// Constraint is a weighted input (face-embedding) constraint.
+type Constraint = constraint.Constraint
+
+// NewFSM returns an empty FSM with binary inputs/outputs; add transitions
+// with AddRow/MustAddRow.
+func NewFSM(name string, inputs, outputs int) *FSM { return kiss.New(name, inputs, outputs) }
+
+// ParseKISS reads a KISS2 state transition table.
+func ParseKISS(r io.Reader) (*FSM, error) { return kiss.Parse(r) }
+
+// ParseKISSString parses a KISS2 table from a string.
+func ParseKISSString(s string) (*FSM, error) { return kiss.ParseString(s) }
+
+// Algorithm selects the encoding algorithm.
+type Algorithm string
+
+// The NOVA algorithms (Sections III-VI of the paper) and the evaluation
+// baselines.
+const (
+	// IExact is iexact_code: exact face hypercube embedding, minimum
+	// length satisfying every input constraint (may give up on hard
+	// instances; see Result.GaveUp).
+	IExact Algorithm = "iexact"
+	// IHybrid is ihybrid_code: bounded-backtracking constraint
+	// satisfaction at the minimum length plus projection coding.
+	IHybrid Algorithm = "ihybrid"
+	// IGreedy is igreedy_code: the fast one-pass heuristic.
+	IGreedy Algorithm = "igreedy"
+	// IOHybrid is iohybrid_code: symbolic minimization plus input- and
+	// output-constraint satisfaction (ordered face hypercube embedding).
+	IOHybrid Algorithm = "iohybrid"
+	// IOVariant is iovariant_code (Section 6.2.2), the cluster-based
+	// variant.
+	IOVariant Algorithm = "iovariant"
+	// Best runs ihybrid, igreedy and iohybrid and returns the smallest
+	// area (the paper's "best of NOVA" column).
+	Best Algorithm = "best"
+
+	// KISS satisfies all input constraints at a heuristic length, like
+	// KISS [9].
+	KISS Algorithm = "kiss"
+	// OneHot assigns one bit per state.
+	OneHot Algorithm = "onehot"
+	// Random measures a batch of random assignments and returns the best;
+	// Result.RandomAvgArea reports the batch average.
+	Random Algorithm = "random"
+	// MustangP/N/PT/NT are the four MUSTANG [12] runs of Table VII.
+	MustangP  Algorithm = "mustang-p"
+	MustangN  Algorithm = "mustang-n"
+	MustangPT Algorithm = "mustang-pt"
+	MustangNT Algorithm = "mustang-nt"
+)
+
+// Options configures Encode.
+type Options struct {
+	// Algorithm defaults to Best.
+	Algorithm Algorithm
+	// Bits is the total state-encoding length; 0 selects the minimum.
+	// Lengths above the minimum let ihybrid/iohybrid run their projection
+	// phase (Section 4.2).
+	Bits int
+	// MaxWork bounds each bounded-backtracking call (paper's max_work);
+	// 0 selects the default.
+	MaxWork int
+	// Seed drives the random baseline and random fallbacks.
+	Seed int64
+	// RandomTrials is the batch size for Algorithm Random; 0 selects the
+	// paper's default of #states + #symbolic inputs.
+	RandomTrials int
+	// FastMinimize skips the REDUCE refinement in the final espresso
+	// passes (faster, slightly larger covers).
+	FastMinimize bool
+	// KeepPLA attaches the minimized encoded PLA to the result.
+	KeepPLA bool
+}
+
+// Result reports an encoding and its two-level cost.
+type Result struct {
+	Algorithm  Algorithm
+	Assignment Assignment
+	// Bits is the total encoding length (state bits plus encoded symbolic
+	// input bits) — the "#bits" column of the paper's tables.
+	Bits int
+	// Cubes is the product-term count after minimizing the encoded
+	// machine; Area is the paper's PLA area model.
+	Cubes, Area int
+	// WSat / WUnsat are the satisfied and unsatisfied input-constraint
+	// weights for the state variable.
+	WSat, WUnsat int
+	// SatisfiedOC / TotalOC count output covering edges (iohybrid only).
+	SatisfiedOC, TotalOC int
+	// GaveUp is set when iexact exhausted its work budget.
+	GaveUp bool
+	// RandomAvgArea is the batch average for Algorithm Random.
+	RandomAvgArea int
+	// PLA is the minimized encoded implementation (with KeepPLA).
+	PLA *PLA
+}
+
+// Constraints derives the weighted input constraints of the FSM's state
+// variable (and of each symbolic input) by multiple-valued minimization.
+func Constraints(f *FSM) (states []Constraint, symIns [][]Constraint, err error) {
+	p, err := mvmin.Build(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	cs := p.Constraints(p.Minimize(espresso.Options{}))
+	return cs.States, cs.SymIns, nil
+}
+
+// Encode runs the selected algorithm on the FSM and measures the encoded
+// two-level implementation.
+func Encode(f *FSM, opt Options) (*Result, error) {
+	if opt.Algorithm == "" {
+		opt.Algorithm = Best
+	}
+	mopt := espresso.Options{SkipReduce: opt.FastMinimize}
+	hopt := encode.HybridOptions{MaxWork: opt.MaxWork, Seed: opt.Seed}
+
+	if opt.Algorithm == Best {
+		var best *Result
+		for _, alg := range []Algorithm{IHybrid, IGreedy, IOHybrid} {
+			o := opt
+			o.Algorithm = alg
+			r, err := Encode(f, o)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || r.Area < best.Area {
+				best = r
+			}
+		}
+		best.Algorithm = Best
+		return best, nil
+	}
+
+	if opt.Algorithm == Random {
+		trials := opt.RandomTrials
+		if trials <= 0 {
+			trials = baseline.DefaultRandomTrials(f)
+		}
+		var best *Result
+		sum := 0
+		for _, asg := range baseline.RandomAssignments(f, trials, opt.Seed) {
+			m, err := mvmin.Measure(f, asg, mopt)
+			if err != nil {
+				return nil, err
+			}
+			sum += m.Area
+			if best == nil || m.Area < best.Area {
+				best = &Result{Algorithm: Random, Assignment: asg, Bits: m.Bits, Cubes: m.Cubes, Area: m.Area}
+			}
+		}
+		best.RandomAvgArea = sum / trials
+		return finishResult(f, best, opt, mopt)
+	}
+
+	res := &Result{Algorithm: opt.Algorithm}
+	switch opt.Algorithm {
+	case OneHot:
+		res.Assignment = baseline.OneHotAssignment(f)
+	case MustangP, MustangN, MustangPT, MustangNT:
+		res.Assignment = baseline.MustangAssignment(f, mustangVariant(opt.Algorithm))
+	case IOHybrid, IOVariant:
+		out, aerr := symbolic.Analyze(f, symbolic.Options{Min: mopt})
+		if aerr != nil {
+			return nil, aerr
+		}
+		var r encode.Result
+		if opt.Algorithm == IOHybrid {
+			r = encode.IOHybrid(out.Problem, opt.Bits, hopt)
+		} else {
+			r = encode.IOVariant(out.Problem, opt.Bits, hopt)
+		}
+		res.Assignment.States = r.Enc
+		res.WSat, res.WUnsat = r.WSat, r.WUnsat
+		res.SatisfiedOC, res.TotalOC = r.SatisfiedOC, r.TotalOC
+		for vi := range f.SymIns {
+			sr := encode.IHybrid(len(f.SymIns[vi].Values), out.SymIns[vi], 0, hopt)
+			res.Assignment.SymIns = append(res.Assignment.SymIns, sr.Enc)
+		}
+	case IExact, IHybrid, IGreedy, KISS:
+		p, berr := mvmin.Build(f)
+		if berr != nil {
+			return nil, berr
+		}
+		cs := p.Constraints(p.Minimize(mopt))
+		var r encode.Result
+		switch opt.Algorithm {
+		case IExact:
+			r = encode.IExact(f.NumStates(), cs.States, encode.ExactOptions{MaxWork: opt.MaxWork})
+			if r.GaveUp {
+				res.GaveUp = true
+				return res, nil
+			}
+		case IHybrid:
+			r = encode.IHybrid(f.NumStates(), cs.States, opt.Bits, hopt)
+		case IGreedy:
+			r = encode.IGreedy(f.NumStates(), cs.States, opt.Bits)
+		case KISS:
+			r = encode.SatisfyAll(f.NumStates(), cs.States)
+		}
+		res.Assignment.States = r.Enc
+		res.WSat, res.WUnsat = r.WSat, r.WUnsat
+		for vi := range f.SymIns {
+			n := len(f.SymIns[vi].Values)
+			var sr encode.Result
+			switch opt.Algorithm {
+			case IExact:
+				sr = encode.IExact(n, cs.SymIns[vi], encode.ExactOptions{MaxWork: opt.MaxWork})
+				if sr.GaveUp {
+					sr = encode.IHybrid(n, cs.SymIns[vi], 0, hopt)
+				}
+			case KISS:
+				sr = encode.SatisfyAll(n, cs.SymIns[vi])
+			case IGreedy:
+				sr = encode.IGreedy(n, cs.SymIns[vi], 0)
+			default:
+				sr = encode.IHybrid(n, cs.SymIns[vi], 0, hopt)
+			}
+			res.Assignment.SymIns = append(res.Assignment.SymIns, sr.Enc)
+		}
+	default:
+		return nil, fmt.Errorf("nova: unknown algorithm %q", opt.Algorithm)
+	}
+	if err := fillSymbolicOutputs(f, res, mopt); err != nil {
+		return nil, err
+	}
+	return finishResult(f, res, opt, mopt)
+}
+
+// fillSymbolicOutputs encodes any symbolic output variables that the
+// selected algorithm did not already cover: output covering constraints
+// are derived by the symbolic-minimization loop (the paper's Section VII
+// extension) and satisfied by out_encoder.
+func fillSymbolicOutputs(f *FSM, res *Result, mopt espresso.Options) error {
+	if len(f.SymOuts) == 0 || len(res.Assignment.SymOuts) == len(f.SymOuts) {
+		return nil
+	}
+	outs, err := symbolic.EncodeSymbolicOutputs(f, symbolic.Options{Min: mopt})
+	if err != nil {
+		return err
+	}
+	res.Assignment.SymOuts = nil
+	for _, o := range outs {
+		res.Assignment.SymOuts = append(res.Assignment.SymOuts, o.Enc)
+	}
+	return nil
+}
+
+func mustangVariant(a Algorithm) baseline.MustangVariant {
+	switch a {
+	case MustangN:
+		return baseline.MustangN
+	case MustangPT:
+		return baseline.MustangPT
+	case MustangNT:
+		return baseline.MustangNT
+	default:
+		return baseline.MustangP
+	}
+}
+
+// finishResult minimizes the encoded machine and fills the cost fields.
+func finishResult(f *FSM, res *Result, opt Options, mopt espresso.Options) (*Result, error) {
+	e, err := mvmin.EncodePLA(f, res.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	min := e.Minimize(mopt)
+	res.Bits = res.Assignment.TotalBits()
+	res.Cubes = min.Len()
+	res.Area = kiss.Area(f.NI+res.Assignment.InputBits(), res.Assignment.States.Bits,
+		f.NO+res.Assignment.OutputBits(), min.Len())
+	if opt.KeepPLA {
+		pla, perr := kiss.FromCover(min, e.NIn, e.NOut)
+		if perr != nil {
+			return nil, perr
+		}
+		res.PLA = pla
+	}
+	return res, nil
+}
+
+// Verify checks that an assignment implements the FSM: the encoded,
+// minimized machine is simulated against the symbolic table on every
+// (input, state) combination (sampled when the input space is large).
+func Verify(f *FSM, asg Assignment) error {
+	return verify.EquivalentFSM(f, asg, verify.Options{})
+}
+
+// MinLength returns ceil(log2 n), the minimum encoding length for n
+// symbols.
+func MinLength(n int) int { return encode.MinLength(n) }

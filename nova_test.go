@@ -1,0 +1,212 @@
+package nova
+
+import (
+	"strings"
+	"testing"
+)
+
+const quickFSM = `
+.i 1
+.o 1
+.s 4
+.r c0
+0 c0 c1 0
+1 c0 c3 1
+0 c1 c2 1
+1 c1 c0 0
+0 c2 c3 1
+1 c2 c1 0
+0 c3 c0 0
+1 c3 c2 1
+.e
+`
+
+func parseQuick(t *testing.T) *FSM {
+	t.Helper()
+	f, err := ParseKISSString(quickFSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEncodeAllAlgorithms(t *testing.T) {
+	f := parseQuick(t)
+	algs := []Algorithm{IExact, IHybrid, IGreedy, IOHybrid, IOVariant, Best, KISS, OneHot, Random,
+		MustangP, MustangN, MustangPT, MustangNT}
+	for _, alg := range algs {
+		res, err := Encode(f, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.GaveUp {
+			t.Fatalf("%s: gave up on a 4-state machine", alg)
+		}
+		if res.Cubes <= 0 || res.Area <= 0 {
+			t.Fatalf("%s: degenerate result %+v", alg, res)
+		}
+		if !res.Assignment.States.Distinct() {
+			t.Fatalf("%s: duplicate codes", alg)
+		}
+		if err := Verify(f, res.Assignment); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestEncodeDefaultsToBest(t *testing.T) {
+	f := parseQuick(t)
+	res, err := Encode(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != Best {
+		t.Fatalf("algorithm = %s", res.Algorithm)
+	}
+}
+
+func TestBestIsNoWorseThanComponents(t *testing.T) {
+	f := parseQuick(t)
+	best, err := Encode(f, Options{Algorithm: Best})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{IHybrid, IGreedy, IOHybrid} {
+		r, err := Encode(f, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Area > r.Area {
+			t.Fatalf("best area %d worse than %s's %d", best.Area, alg, r.Area)
+		}
+	}
+}
+
+func TestOneHotShape(t *testing.T) {
+	f := parseQuick(t)
+	res, err := Encode(f, Options{Algorithm: OneHot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits != 4 {
+		t.Fatalf("one-hot bits = %d", res.Bits)
+	}
+	for i, c := range res.Assignment.States.Codes {
+		if c != 1<<uint(i) {
+			t.Fatalf("code %d = %b", i, c)
+		}
+	}
+}
+
+func TestRandomReportsAverage(t *testing.T) {
+	f := parseQuick(t)
+	res, err := Encode(f, Options{Algorithm: Random, RandomTrials: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RandomAvgArea < res.Area {
+		t.Fatalf("avg %d below best %d", res.RandomAvgArea, res.Area)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	f := parseQuick(t)
+	a, err := Encode(f, Options{Algorithm: Random, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(f, Options{Algorithm: Random, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Area != b.Area || a.RandomAvgArea != b.RandomAvgArea {
+		t.Fatal("random baseline is not reproducible for a fixed seed")
+	}
+}
+
+func TestKeepPLA(t *testing.T) {
+	f := parseQuick(t)
+	res, err := Encode(f, Options{Algorithm: IHybrid, KeepPLA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PLA == nil {
+		t.Fatal("no PLA attached")
+	}
+	if len(res.PLA.Rows) != res.Cubes {
+		t.Fatalf("PLA rows %d != cubes %d", len(res.PLA.Rows), res.Cubes)
+	}
+	if !strings.Contains(res.PLA.String(), ".i 3") {
+		t.Fatalf("PLA header wrong:\n%s", res.PLA)
+	}
+}
+
+func TestConstraintsAPI(t *testing.T) {
+	f := parseQuick(t)
+	states, symIns, err := Constraints(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(symIns) != 0 {
+		t.Fatal("no symbolic inputs expected")
+	}
+	for _, ic := range states {
+		if ic.Set.N() != 4 || ic.Weight < 1 {
+			t.Fatalf("bad constraint %+v", ic)
+		}
+	}
+}
+
+func TestEncodeUnknownAlgorithm(t *testing.T) {
+	f := parseQuick(t)
+	if _, err := Encode(f, Options{Algorithm: "bogus"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestBitsAboveMinimumHelpsSatisfaction(t *testing.T) {
+	// With more bits, ihybrid's projection phase can only improve (or
+	// keep) the satisfied constraint weight.
+	f := parseQuick(t)
+	minRes, err := Encode(f, Options{Algorithm: IHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigRes, err := Encode(f, Options{Algorithm: IHybrid, Bits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigRes.WSat < minRes.WSat {
+		t.Fatalf("more bits lost satisfaction: %d < %d", bigRes.WSat, minRes.WSat)
+	}
+}
+
+func TestMinLength(t *testing.T) {
+	if MinLength(4) != 2 || MinLength(5) != 3 {
+		t.Fatal("MinLength wrong")
+	}
+}
+
+func TestSymbolicInputEndToEnd(t *testing.T) {
+	f := NewFSM("sym", 1, 1)
+	f.AddSymbolicInput("op", "add", "sub", "nop", "jmp")
+	f.MustAddRow("-", "fetch", "exec", "0", "add")
+	f.MustAddRow("-", "fetch", "exec", "0", "sub")
+	f.MustAddRow("-", "fetch", "fetch", "0", "nop")
+	f.MustAddRow("-", "fetch", "jump", "0", "jmp")
+	f.MustAddRow("0", "exec", "fetch", "1", "-")
+	f.MustAddRow("1", "exec", "exec", "0", "-")
+	f.MustAddRow("-", "jump", "fetch", "1", "-")
+	for _, alg := range []Algorithm{IHybrid, IOHybrid, OneHot, Random, KISS} {
+		res, err := Encode(f, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(res.Assignment.SymIns) != 1 {
+			t.Fatalf("%s: symbolic input not encoded", alg)
+		}
+		if err := Verify(f, res.Assignment); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package nova_test
+
+// Shape regression tests: the paper's comparative claims, asserted on
+// aggregate areas over the fast benchmark subset. Individual machines may
+// deviate (they do in the paper too); the totals must not.
+
+import (
+	"testing"
+
+	"nova/internal/experiments"
+)
+
+func shapeRows(t *testing.T) ([]experiments.RowIV, []experiments.RowIII) {
+	t.Helper()
+	r := experiments.NewRunner(experiments.RunOpts{Only: fastSubset, Seed: 1})
+	rows4, err := r.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows3, err := r.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows4, rows3
+}
+
+func TestShapeNovaBeatsRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline sweep skipped in -short")
+	}
+	rows4, rows3 := shapeRows(t)
+	var nova4, rndBest, rndAvg, kiss, ih int
+	for _, r := range rows4 {
+		nova4 += r.NovaBest.Area
+		rndBest += r.RandomBestArea
+		rndAvg += r.RandomAvgArea
+		ih += r.NovaIH.Area
+	}
+	for _, r := range rows3 {
+		kiss += r.KISS.Area
+	}
+	// Paper: best of NOVA ≈ 77% of best random, ≈ 20% below KISS; the
+	// random average above the random best.
+	if nova4 >= rndBest {
+		t.Fatalf("best of NOVA (%d) not below best random (%d)", nova4, rndBest)
+	}
+	if rndAvg < rndBest {
+		t.Fatalf("random average (%d) below random best (%d)", rndAvg, rndBest)
+	}
+	if nova4 >= kiss {
+		t.Fatalf("best of NOVA (%d) not below KISS (%d)", nova4, kiss)
+	}
+	if nova4 > ih {
+		t.Fatalf("best of NOVA (%d) above its ihybrid/igreedy component (%d)", nova4, ih)
+	}
+}
+
+func TestShapeIExactAreaNeverWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline sweep skipped in -short")
+	}
+	// Paper (Table II discussion): although iexact satisfies every input
+	// constraint, "its final areas are always larger" than ihybrid's. We
+	// assert the aggregate (per-machine ties allowed).
+	r := experiments.NewRunner(experiments.RunOpts{Only: fastSubset, Seed: 1})
+	rows, err := r.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, hybrid := 0, 0
+	for _, row := range rows {
+		if row.IExact.GaveUp {
+			continue
+		}
+		exact += row.IExact.Area
+		hybrid += row.IHybrid.Area
+		if row.IExact.Bits < row.IHybrid.Bits {
+			t.Fatalf("%s: iexact used fewer bits than minimum-length ihybrid", row.Name)
+		}
+	}
+	if exact < hybrid {
+		t.Fatalf("iexact total area (%d) below ihybrid (%d): shape inverted", exact, hybrid)
+	}
+}
+
+func TestShapeMustangLosesOnCubes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline sweep skipped in -short")
+	}
+	// Paper Table VII: MUSTANG's best two-level cube count is ~124% of
+	// NOVA's in total.
+	r := experiments.NewRunner(experiments.RunOpts{Only: fastSubset, Seed: 1})
+	rows, err := r.TableVII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mus, nov := 0, 0
+	for _, row := range rows {
+		mus += row.MustangCubes
+		nov += row.NovaCubes
+	}
+	if mus < nov {
+		t.Fatalf("MUSTANG total cubes (%d) below NOVA (%d): shape inverted", mus, nov)
+	}
+}

@@ -1,0 +1,77 @@
+package nova
+
+import "testing"
+
+// End-to-end tests of the symbolic proper-output extension (the future
+// work announced in Section VII): symbolic outputs are encoded via
+// output-covering analysis and verified by simulation.
+
+func symOutMachine(t *testing.T) *FSM {
+	t.Helper()
+	f := NewFSM("micro", 2, 1)
+	f.AddSymbolicOutput("aluop", "nopop", "addop", "subop", "mulop")
+	add := func(in, ps, ns, out, op string) {
+		t.Helper()
+		if err := f.AddRowSym(in, nil, ps, ns, out, []string{op}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("00", "fetch", "decode", "0", "nopop")
+	add("01", "fetch", "decode", "0", "nopop")
+	add("1-", "fetch", "fetch", "1", "nopop")
+	add("-0", "decode", "alu1", "0", "addop")
+	add("-1", "decode", "alu2", "0", "subop")
+	add("0-", "alu1", "fetch", "1", "addop")
+	add("1-", "alu1", "alu2", "0", "mulop")
+	add("--", "alu2", "fetch", "1", "mulop")
+	return f
+}
+
+func TestSymbolicOutputEndToEnd(t *testing.T) {
+	f := symOutMachine(t)
+	for _, alg := range []Algorithm{IHybrid, IGreedy, IOHybrid, OneHot, Random, KISS, MustangN} {
+		res, err := Encode(f, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(res.Assignment.SymOuts) != 1 {
+			t.Fatalf("%s: symbolic output not encoded", alg)
+		}
+		if !res.Assignment.SymOuts[0].Distinct() {
+			t.Fatalf("%s: duplicate output codes", alg)
+		}
+		if err := Verify(f, res.Assignment); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestSymbolicOutputAreaModel(t *testing.T) {
+	f := symOutMachine(t)
+	res, err := Encode(f, Options{Algorithm: IHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBits := res.Assignment.SymOuts[0].Bits
+	wantArea := (2*(2+res.Assignment.States.Bits) + res.Assignment.States.Bits + 1 + outBits) * res.Cubes
+	if res.Area != wantArea {
+		t.Fatalf("area %d, want %d (symbolic output bits must count as outputs)", res.Area, wantArea)
+	}
+}
+
+func TestSymbolicOutputBeatsOneHotOutputs(t *testing.T) {
+	// Encoded symbolic outputs use fewer PLA columns than 1-hot outputs;
+	// with comparable cube counts the area should not be worse.
+	f := symOutMachine(t)
+	enc, err := Encode(f, Options{Algorithm: Best})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh, err := Encode(f, Options{Algorithm: OneHot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Area > oh.Area {
+		t.Fatalf("encoded outputs area %d worse than 1-hot %d", enc.Area, oh.Area)
+	}
+}
