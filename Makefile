@@ -1,0 +1,25 @@
+# Tier-1 verification lives behind `make verify`: vet, build, the test
+# suite, and the race detector over the concurrent encoding engine.
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: vet build test race
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x .

@@ -1,0 +1,48 @@
+package nova
+
+import (
+	"context"
+	"fmt"
+
+	"nova/internal/sched"
+)
+
+// EncodeAll encodes a batch of machines concurrently over one shared
+// bounded worker pool of opt.Parallelism workers (0 selects GOMAXPROCS).
+// The same Options apply to every machine; results[i] corresponds to
+// fsms[i]. The first error aborts the batch: the remaining runs are
+// canceled, the error (wrapped with the machine's name) is returned, and
+// the results slice is nil. Cancellation of ctx likewise aborts the
+// batch with an error matching errors.Is(err, ErrCanceled).
+//
+// Every run is deterministic under a fixed Options.Seed: each machine's
+// random trials and candidate joins are independent of scheduling, so a
+// batch produces the same Results as encoding the machines one at a
+// time. Nil entries in fsms are rejected.
+func EncodeAll(ctx context.Context, fsms []*FSM, opt Options) ([]*Result, error) {
+	for i, f := range fsms {
+		if f == nil {
+			return nil, fmt.Errorf("nova: EncodeAll: fsms[%d] is nil", i)
+		}
+	}
+	pool := sched.New(opt.workers())
+	results := make([]*Result, len(fsms))
+	g := pool.Group(ctx)
+	for i, f := range fsms {
+		g.Go(func(ctx context.Context) error {
+			r, err := encodeWith(ctx, pool, f, opt)
+			if err != nil {
+				if f.Name != "" {
+					return fmt.Errorf("%s: %w", f.Name, err)
+				}
+				return err
+			}
+			results[i] = r
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

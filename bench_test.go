@@ -9,6 +9,7 @@ package nova_test
 // cmd/novabench for the full-suite tables.
 
 import (
+	"context"
 	"testing"
 
 	"nova"
@@ -215,6 +216,44 @@ func BenchmarkAblationSymbolicOrder(b *testing.B) {
 				cubes += out.FinalCubes
 			}
 			b.ReportMetric(float64(cubes)/float64(b.N), "finalP-cubes")
+		})
+	}
+}
+
+// ------------------------------------------------- concurrency benchmarks
+
+// BenchmarkEncodeAllBest measures the batch API over the fast subset at
+// increasing pool widths; the serial/parallel speedup is only visible on
+// multi-core machines, the results stay bit-identical everywhere.
+func BenchmarkEncodeAllBest(b *testing.B) {
+	var fsms []*nova.FSM
+	for _, name := range fastSubset {
+		fsms = append(fsms, bench.Get(name))
+	}
+	for _, par := range []int{1, 4} {
+		b.Run("parallelism-"+itoa(par), func(b *testing.B) {
+			opt := nova.Options{Algorithm: nova.Best, Seed: 1, Parallelism: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := nova.EncodeAll(context.Background(), fsms, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeBestParallelism measures a single Best encode (the
+// three-candidate fan-out) serially and with a four-worker pool.
+func BenchmarkEncodeBestParallelism(b *testing.B) {
+	f := bench.Get("bbara")
+	for _, par := range []int{1, 4} {
+		b.Run("parallelism-"+itoa(par), func(b *testing.B) {
+			opt := nova.Options{Algorithm: nova.Best, Seed: 1, Parallelism: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := nova.Encode(f, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

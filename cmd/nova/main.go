@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"nova"
 )
@@ -30,7 +33,17 @@ func main() {
 	trials := flag.Int("random-trials", 0, "batch size for -e random (0 = #states + #symbolic inputs)")
 	maxWork := flag.Int("max-work", 0, "bounded-backtracking work budget (0 = default)")
 	fast := flag.Bool("fast", false, "faster single-pass minimization")
+	par := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort the encode after this long (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: nova [flags] file.kiss2  (use - for stdin)")
@@ -55,7 +68,7 @@ func main() {
 		st := fsm.Stats()
 		fmt.Printf("machine: %d inputs, %d symbolic inputs, %d outputs, %d states, %d terms\n",
 			st.Inputs, st.SymIns, st.Outputs, st.States, st.Terms)
-		ics, _, err := nova.Constraints(fsm)
+		ics, _, err := nova.ConstraintsContext(ctx, fsm)
 		if err != nil {
 			fail(err)
 		}
@@ -65,7 +78,7 @@ func main() {
 		}
 	}
 
-	res, err := nova.Encode(fsm, nova.Options{
+	res, err := nova.EncodeContext(ctx, fsm, nova.Options{
 		Algorithm:    nova.Algorithm(*alg),
 		Bits:         *bits,
 		Seed:         *seed,
@@ -73,13 +86,14 @@ func main() {
 		RandomTrials: *trials,
 		MaxWork:      *maxWork,
 		FastMinimize: *fast,
+		Parallelism:  *par,
 	})
-	if err != nil {
-		fail(err)
-	}
-	if res.GaveUp {
+	switch {
+	case errors.Is(err, nova.ErrGaveUp):
 		fmt.Println("iexact: gave up within the work budget (try ihybrid)")
 		os.Exit(1)
+	case err != nil:
+		fail(err)
 	}
 
 	fmt.Printf("algorithm: %s\n", res.Algorithm)
@@ -106,7 +120,7 @@ func main() {
 		fmt.Print(res.PLA)
 	}
 	if *doVerify {
-		if err := nova.Verify(fsm, res.Assignment); err != nil {
+		if err := nova.VerifyContext(ctx, fsm, res.Assignment); err != nil {
 			fail(fmt.Errorf("verification FAILED: %v", err))
 		}
 		fmt.Println("verified: encoded machine matches the symbolic table")

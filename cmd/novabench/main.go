@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"nova"
 	"nova/internal/experiments"
 )
 
@@ -28,9 +31,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for the random baselines")
 	par := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 	exactBudget := flag.Int("exact-budget", 1_500_000, "iexact work budget per machine (0 = library default)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.Parse()
 
+	// ^C (or the -timeout deadline) cancels in-flight encodes promptly:
+	// the context reaches the backtracking searches and espresso loops.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := experiments.RunOpts{
+		Ctx:          ctx,
 		SkipHuge:     *skipHuge,
 		Seed:         *seed,
 		FastMinimize: *fast,
@@ -41,6 +56,18 @@ func main() {
 		opts.Only = strings.Split(*only, ",")
 	}
 	r := experiments.NewRunner(opts)
+
+	// Fill the result cache through the concurrent batch API: the tables
+	// below then mostly read memoized results. iexact is left to the
+	// per-table path because its give-up on the hardest machines would
+	// abort a batch; the tables render it as a "-" entry instead.
+	if *table != 1 {
+		prewarm := []nova.Algorithm{nova.IHybrid, nova.IGreedy, nova.IOHybrid, nova.KISS, nova.Random}
+		if err := r.Prewarm(ctx, prewarm...); err != nil {
+			fmt.Fprintln(os.Stderr, "novabench: prewarm:", err)
+			os.Exit(1)
+		}
+	}
 
 	run := func(n int) error {
 		start := time.Now()

@@ -1,0 +1,31 @@
+package nova
+
+import "errors"
+
+// Sentinel errors returned (wrapped) by the encoding entry points. Match
+// them with errors.Is; the wrapping message names the algorithm and the
+// variable (state or symbolic input) that failed.
+var (
+	// ErrGaveUp reports that iexact exhausted its work budget without
+	// settling the instance. The *Result returned alongside it still
+	// carries the deprecated GaveUp flag for callers migrating from the
+	// old silent half-empty-Result convention.
+	ErrGaveUp = errors.New("nova: gave up within the work budget")
+
+	// ErrUnencodable reports that no two-level implementation can be
+	// produced for the machine at all — for example a code assignment
+	// that would need more than 64 bits, or an invalid assignment.
+	ErrUnencodable = errors.New("nova: machine not encodable")
+
+	// ErrCanceled reports that the context passed to EncodeContext /
+	// EncodeAll was canceled or its deadline expired before the run
+	// finished. The underlying context error (context.Canceled or
+	// context.DeadlineExceeded) is joined in, so errors.Is matches both.
+	ErrCanceled = errors.New("nova: encoding canceled")
+)
+
+// canceledErr wraps a context error so that both nova.ErrCanceled and the
+// original context sentinel match under errors.Is.
+func canceledErr(cause error) error {
+	return errors.Join(ErrCanceled, cause)
+}

@@ -1,0 +1,37 @@
+package nova
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestCanceledErrMatchesBothSentinels pins the documented contract: an
+// error from a canceled run matches nova.ErrCanceled and the underlying
+// context sentinel, including through further %w wrapping.
+func TestCanceledErrMatchesBothSentinels(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		err := canceledErr(cause)
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, cause) {
+			t.Fatalf("canceledErr(%v) = %v: sentinel lost", cause, err)
+		}
+		wrapped := fmt.Errorf("nova: ihybrid: state variable: %w", err)
+		if !errors.Is(wrapped, ErrCanceled) || !errors.Is(wrapped, cause) {
+			t.Fatalf("wrapping lost the sentinels: %v", wrapped)
+		}
+	}
+}
+
+// TestWorkersDefaults pins Options.Parallelism resolution.
+func TestWorkersDefaults(t *testing.T) {
+	if w := (Options{Parallelism: 3}).workers(); w != 3 {
+		t.Fatalf("workers() = %d, want 3", w)
+	}
+	if w := (Options{}).workers(); w < 1 {
+		t.Fatalf("default workers() = %d, want >= 1", w)
+	}
+	if w := (Options{Parallelism: -2}).workers(); w < 1 {
+		t.Fatalf("negative Parallelism resolved to %d", w)
+	}
+}

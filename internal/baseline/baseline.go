@@ -15,6 +15,7 @@ import (
 	"nova/internal/encode"
 	"nova/internal/encoding"
 	"nova/internal/kiss"
+	"nova/internal/sched"
 	"nova/internal/symbolic"
 )
 
@@ -40,25 +41,35 @@ func OneHotAssignment(f *kiss.FSM) encoding.Assignment {
 	return a
 }
 
+// RandomAssignment returns one random minimum-length assignment of the
+// FSM's states and symbolic inputs/outputs, drawn from its own generator
+// seeded with seed. Batches key each trial's seed off the trial index
+// (sched.SplitSeed), so a batch produces identical assignments whether
+// its trials run serially or concurrently.
+func RandomAssignment(f *kiss.FSM, seed int64) encoding.Assignment {
+	rng := rand.New(rand.NewSource(seed))
+	a := encoding.Assignment{
+		States: encode.RandomEncoding(f.NumStates(), encode.MinLength(f.NumStates()), rng),
+	}
+	for _, v := range f.SymIns {
+		n := len(v.Values)
+		a.SymIns = append(a.SymIns, encode.RandomEncoding(n, encode.MinLength(n), rng))
+	}
+	for _, v := range f.SymOuts {
+		n := len(v.Values)
+		a.SymOuts = append(a.SymOuts, encode.RandomEncoding(n, encode.MinLength(n), rng))
+	}
+	return a
+}
+
 // RandomAssignments returns `trials` independent random minimum-length
 // assignments of the FSM's states and symbolic inputs. The paper uses
-// #states + #symbolic-inputs trials per example.
+// #states + #symbolic-inputs trials per example. Trial t is drawn from
+// seed sched.SplitSeed(seed, t).
 func RandomAssignments(f *kiss.FSM, trials int, seed int64) []encoding.Assignment {
-	rng := rand.New(rand.NewSource(seed))
 	out := make([]encoding.Assignment, 0, trials)
 	for t := 0; t < trials; t++ {
-		a := encoding.Assignment{
-			States: encode.RandomEncoding(f.NumStates(), encode.MinLength(f.NumStates()), rng),
-		}
-		for _, v := range f.SymIns {
-			n := len(v.Values)
-			a.SymIns = append(a.SymIns, encode.RandomEncoding(n, encode.MinLength(n), rng))
-		}
-		for _, v := range f.SymOuts {
-			n := len(v.Values)
-			a.SymOuts = append(a.SymOuts, encode.RandomEncoding(n, encode.MinLength(n), rng))
-		}
-		out = append(out, a)
+		out = append(out, RandomAssignment(f, sched.SplitSeed(seed, t)))
 	}
 	return out
 }

@@ -66,6 +66,10 @@ type Result struct {
 	// GaveUp is set when a work budget fired before the search space was
 	// exhausted (the result may be feasible but unproven).
 	GaveUp bool
+	// Err is set when the run was cut short by context cancellation (the
+	// ctx.Err() observed); the rest of the Result is then partial and
+	// must not be used as an encoding.
+	Err error
 	// Proven is set by IExact when the returned encoding length is a
 	// proven minimum: no smaller dimension's search was cut short by the
 	// work budget.

@@ -1,11 +1,17 @@
 package encode
 
 import (
+	"context"
+
 	"nova/internal/constraint"
 )
 
 // ExactOptions tunes iexact_code.
 type ExactOptions struct {
+	// Ctx, when non-nil, is polled at the backtracking work tick and
+	// between primary-level-vector searches; cancellation aborts the run
+	// with Result.Err set to the context error.
+	Ctx context.Context
 	// MaxK bounds the largest hypercube dimension tried; 0 means
 	// mincube_dim + KWindow (the trivial upper bound #(S) of Section
 	// 3.3.1 is unreachable within any practical budget anyway).
@@ -109,6 +115,11 @@ func IExact(n int, ics []constraint.Constraint, opt ExactOptions) Result {
 		for round := 0; round < 2 && kWork < perK; round++ {
 			roundBudget := false
 			for _, dimvect := range vectors {
+				if err := ctxErr(opt.Ctx); err != nil {
+					res.Err = err
+					res.Work = totalWork
+					return res
+				}
 				w := slice
 				if rem := perK - kWork; w > rem {
 					w = rem
@@ -120,6 +131,7 @@ func IExact(n int, ics []constraint.Constraint, opt ExactOptions) Result {
 				s := newSearcher(g, k)
 				s.allLevels = true
 				s.maxWork = w
+				s.ctx = opt.Ctx
 				s.levels = map[*constraint.Node]int{}
 				for i, nd := range primaries {
 					s.levels[nd] = dimvect[i]
@@ -150,6 +162,11 @@ func IExact(n int, ics []constraint.Constraint, opt ExactOptions) Result {
 		if kBudget {
 			anyBudget = true
 		}
+	}
+	if err := ctxErr(opt.Ctx); err != nil {
+		res.Err = err
+		res.Work = totalWork
+		return res
 	}
 	// Exhaustive search below the bound failed (or ran out of budget):
 	// fall back to the constructive encoding.

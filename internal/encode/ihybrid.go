@@ -1,6 +1,7 @@
 package encode
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -16,6 +17,10 @@ type HybridOptions struct {
 	// Seed drives the random fallback encoding of the pathological case
 	// where every semiexact call fails.
 	Seed int64
+	// Ctx, when non-nil, is polled at the bounded-backtracking work tick
+	// and between semiexact_code calls; cancellation aborts the run with
+	// Result.Err set to the context error.
+	Ctx context.Context
 }
 
 func (o *HybridOptions) defaults() {
@@ -26,18 +31,28 @@ func (o *HybridOptions) defaults() {
 
 // semiexact runs semiexact_code (Section 4.1): pos_equiv on the given
 // constraint set, restricted to minimum-level faces for the primary
-// constraints and bounded by max_work. It returns the found encoding and
-// whether all the given constraints were satisfied.
-func semiexact(n int, sic []constraint.Constraint, cubeDim, maxWork int, oc []OCEdge) (encoding.Encoding, bool, int) {
+// constraints and bounded by max_work (and by ctx, which may be nil). It
+// returns the found encoding and whether all the given constraints were
+// satisfied.
+func semiexact(ctx context.Context, n int, sic []constraint.Constraint, cubeDim, maxWork int, oc []OCEdge) (encoding.Encoding, bool, int) {
 	g := constraint.BuildGraph(n, sic)
 	s := newSearcher(g, cubeDim)
 	s.allLevels = false
 	s.maxWork = maxWork
 	s.oc = oc
+	s.ctx = ctx
 	if s.solve(nil) {
 		return s.extract(), true, s.work
 	}
 	return encoding.Encoding{}, false, s.work
+}
+
+// ctxErr returns the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // IHybrid implements ihybrid_code (Section IV): maximize the total weight
@@ -59,7 +74,11 @@ func IHybrid(n int, ics []constraint.Constraint, bits int, opt HybridOptions) Re
 	var enc encoding.Encoding
 	have := false
 	for _, ic := range ics { // ics is sorted by decreasing weight
-		e, ok, w := semiexact(n, append(append([]constraint.Constraint(nil), sic...), ic), cubeDim, opt.MaxWork, nil)
+		if err := ctxErr(opt.Ctx); err != nil {
+			res.Err = err
+			return res
+		}
+		e, ok, w := semiexact(opt.Ctx, n, append(append([]constraint.Constraint(nil), sic...), ic), cubeDim, opt.MaxWork, nil)
 		res.Work += w
 		if ok {
 			enc, have = e, true
@@ -67,6 +86,10 @@ func IHybrid(n int, ics []constraint.Constraint, bits int, opt HybridOptions) Re
 		} else {
 			ric = append(ric, ic)
 		}
+	}
+	if err := ctxErr(opt.Ctx); err != nil {
+		res.Err = err
+		return res
 	}
 	if !have {
 		// Rare pathological situation: even a single constraint failed.

@@ -84,7 +84,11 @@ func ioEncode(p IOProblem, bits int, opt HybridOptions, variant bool) Result {
 	var enc encoding.Encoding
 	have := false
 	for _, ic := range stage1 {
-		e, ok, w := semiexact(p.N, append(append([]constraint.Constraint(nil), sic...), ic), cubeDim, opt.MaxWork, nil)
+		if err := ctxErr(opt.Ctx); err != nil {
+			res.Err = err
+			return res
+		}
+		e, ok, w := semiexact(opt.Ctx, p.N, append(append([]constraint.Constraint(nil), sic...), ic), cubeDim, opt.MaxWork, nil)
 		res.Work += w
 		if ok {
 			enc, have = e, true
@@ -102,12 +106,16 @@ func ioEncode(p IOProblem, bits int, opt HybridOptions, variant bool) Result {
 		if len(cl.OC) == 0 && !variant {
 			continue
 		}
+		if err := ctxErr(opt.Ctx); err != nil {
+			res.Err = err
+			return res
+		}
 		trialOC := append(append([]OCEdge(nil), soc...), cl.OC...)
 		trialIC := sic
 		if variant {
 			trialIC = append(append([]constraint.Constraint(nil), sic...), notIn(cl.IC, sic)...)
 		}
-		e, ok, w := semiexact(p.N, trialIC, cubeDim, opt.MaxWork, trialOC)
+		e, ok, w := semiexact(opt.Ctx, p.N, trialIC, cubeDim, opt.MaxWork, trialOC)
 		res.Work += w
 		if ok {
 			enc, have = e, true

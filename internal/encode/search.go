@@ -8,6 +8,7 @@
 package encode
 
 import (
+	"context"
 	"errors"
 
 	"nova/internal/constraint"
@@ -18,6 +19,12 @@ import (
 // ErrBudget is returned when a search exceeds its work bound rather than
 // proving infeasibility.
 var ErrBudget = errors.New("encode: work budget exhausted")
+
+// ctxCheckInterval is how many work ticks pass between context polls in
+// the backtracking inner loop: frequent enough that cancellation lands
+// within microseconds, rare enough that the poll cost is invisible next
+// to the consistency checks themselves.
+const ctxCheckInterval = 64
 
 // OCEdge is an output covering constraint: the code of U must cover the
 // code of V bitwise, and differ from it (edge (u,v) of the symbolic
@@ -48,6 +55,12 @@ type searcher struct {
 	maxWork int // 0 = unbounded
 	work    int
 	budget  bool // set when the work bound fired
+
+	// ctx, when non-nil, is polled every ctxCheckInterval work ticks;
+	// cancellation aborts the search like an exhausted budget, with
+	// canceled set so callers can tell the two apart.
+	ctx      context.Context
+	canceled bool
 
 	assigned map[*constraint.Node]face.Face
 	used     map[faceKey]*constraint.Node
@@ -119,8 +132,16 @@ func (s *searcher) verify(nd *constraint.Node, f face.Face) bool {
 		s.budget = true
 		return false
 	}
+	if s.ctx != nil && s.work%ctxCheckInterval == 0 && s.ctx.Err() != nil {
+		s.canceled = true
+		return false
+	}
 	return s.checkFace(nd, f)
 }
+
+// stopped reports whether the search must unwind now: the work budget
+// fired or the context was canceled.
+func (s *searcher) stopped() bool { return s.budget || s.canceled }
 
 // checkFace is verify's condition check without the work accounting (the
 // forward check probes many faces and must not burn budget or set the
@@ -573,7 +594,7 @@ func (s *searcher) solve(lic *constraint.Node) bool {
 	s.candidates(nd, func(f face.Face) bool {
 		t, ok := s.place(nd, f)
 		if !ok {
-			return !s.budget // stop enumerating when the budget fired
+			return !s.stopped() // stop enumerating when the budget fired or the context was canceled
 		}
 		if s.solve(nd) {
 			found = true
@@ -583,7 +604,7 @@ func (s *searcher) solve(lic *constraint.Node) bool {
 		if first {
 			return false // symmetry: other faces of this level are isomorphic
 		}
-		return !s.budget
+		return !s.stopped()
 	})
 	return found
 }

@@ -12,6 +12,7 @@
 package espresso
 
 import (
+	"context"
 	"sort"
 
 	"nova/internal/cube"
@@ -19,6 +20,11 @@ import (
 
 // Options tunes the minimization loop.
 type Options struct {
+	// Ctx, when non-nil, is polled between the EXPAND / IRREDUNDANT /
+	// REDUCE passes; on cancellation Minimize returns the best valid
+	// cover found so far instead of iterating further. Callers that need
+	// a hard failure must check Ctx.Err() themselves after the call.
+	Ctx context.Context
 	// MaxIterations bounds the number of expand/irredundant/reduce rounds.
 	// Zero selects the default of 16 (the loop normally converges in 2-4).
 	MaxIterations int
@@ -46,6 +52,9 @@ func Minimize(on, dc *cube.Cover, opt Options) *cube.Cover {
 	}
 	f.SingleCubeContainment()
 	dropEmpty(f)
+	if canceled(opt.Ctx) {
+		return f // the containment-reduced on-set is itself a valid cover
+	}
 
 	Expand(f, dc)
 	Irredundant(f, dc)
@@ -55,6 +64,9 @@ func Minimize(on, dc *cube.Cover, opt Options) *cube.Cover {
 	}
 	best := f.Copy()
 	for iter := 0; iter < opt.MaxIterations; iter++ {
+		if canceled(opt.Ctx) {
+			break // best is a valid minimized cover at this point
+		}
 		Reduce(f, dc)
 		Expand(f, dc)
 		Irredundant(f, dc)
@@ -70,6 +82,11 @@ func Minimize(on, dc *cube.Cover, opt Options) *cube.Cover {
 	}
 	finish(best, dc, opt)
 	return best
+}
+
+// canceled reports whether the (possibly nil) context is done.
+func canceled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 func finish(f, dc *cube.Cover, opt Options) {

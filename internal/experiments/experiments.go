@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -28,6 +30,10 @@ import (
 
 // RunOpts configures a harness run.
 type RunOpts struct {
+	// Ctx, when non-nil, cancels in-flight encodes between tables and
+	// inside the searches; canceled runs surface the error of the
+	// offending machine.
+	Ctx context.Context
 	// SkipHuge drops the time-intensive machines (scf, tbk).
 	SkipHuge bool
 	// Only restricts the run to the named machines (nil = all).
@@ -90,7 +96,30 @@ func NewRunner(opts RunOpts) *Runner {
 	return &Runner{Opts: opts, memo: map[string]*nova.Result{}}
 }
 
-// Run returns the (cached) result of one algorithm on one machine.
+func (o RunOpts) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+func (o RunOpts) novaOptions(alg nova.Algorithm, bits int) nova.Options {
+	return nova.Options{
+		Algorithm:    alg,
+		Bits:         bits,
+		Seed:         o.Seed,
+		FastMinimize: o.FastMinimize,
+		MaxWork:      exactWorkFor(alg, o),
+		// The harness already fans out across machines (forEach), so
+		// each encode runs serially to keep the total worker count at
+		// RunOpts.Parallel.
+		Parallelism: 1,
+	}
+}
+
+// Run returns the (cached) result of one algorithm on one machine. An
+// iexact give-up is not an error here: the partial result (GaveUp set)
+// is cached and returned so the tables can render their "-" entries.
 func (r *Runner) Run(f *kiss.FSM, alg nova.Algorithm, bits int) (*nova.Result, error) {
 	k := fmt.Sprintf("%s/%s/%d", f.Name, alg, bits)
 	r.mu.Lock()
@@ -99,20 +128,40 @@ func (r *Runner) Run(f *kiss.FSM, alg nova.Algorithm, bits int) (*nova.Result, e
 		return res, nil
 	}
 	r.mu.Unlock()
-	res, err := nova.Encode(f, nova.Options{
-		Algorithm:    alg,
-		Bits:         bits,
-		Seed:         r.Opts.Seed,
-		FastMinimize: r.Opts.FastMinimize,
-		MaxWork:      exactWorkFor(alg, r.Opts),
-	})
-	if err != nil {
+	res, err := nova.EncodeContext(r.Opts.ctx(), f, r.Opts.novaOptions(alg, bits))
+	if err != nil && !errors.Is(err, nova.ErrGaveUp) {
 		return nil, err
 	}
 	r.mu.Lock()
 	r.memo[k] = res
 	r.mu.Unlock()
 	return res, nil
+}
+
+// Prewarm encodes every benchmark machine of the run with each of the
+// given algorithms through the batch API, filling the cache so the table
+// builders afterwards only read memoized results. Algorithms whose
+// give-up would abort a batch (iexact) should be left to Run.
+func (r *Runner) Prewarm(ctx context.Context, algs ...nova.Algorithm) error {
+	entries := r.Opts.entries()
+	fsms := make([]*kiss.FSM, len(entries))
+	for i, e := range entries {
+		fsms[i] = e.F
+	}
+	for _, alg := range algs {
+		opt := r.Opts.novaOptions(alg, 0)
+		opt.Parallelism = r.Opts.Parallel
+		results, err := nova.EncodeAll(ctx, fsms, opt)
+		if err != nil {
+			return err
+		}
+		r.mu.Lock()
+		for i, res := range results {
+			r.memo[fmt.Sprintf("%s/%s/%d", fsms[i].Name, alg, 0)] = res
+		}
+		r.mu.Unlock()
+	}
+	return nil
 }
 
 func exactWorkFor(alg nova.Algorithm, o RunOpts) int {

@@ -1,0 +1,123 @@
+// Package sched provides the concurrent execution engine behind the
+// public encoding API: a bounded worker pool shared by every fan-out of
+// one encoding run (the three Best candidates, the Random trial batch,
+// the per-symbolic-input encodes, and the per-FSM tasks of EncodeAll),
+// fork/join groups with first-error-wins semantics, and the deterministic
+// seed splitter that makes parallel randomized batches bit-identical to
+// their serial counterparts.
+//
+// The pool never blocks a task submission: when every worker slot is
+// busy, Go runs the task inline on the submitting goroutine. Groups may
+// therefore nest freely (an EncodeAll task fans out its Best candidates
+// through the same pool) without risk of deadlock, and the number of
+// concurrently executing tasks stays bounded by the worker count.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool. The zero value is not usable; use New.
+type Pool struct {
+	// sem holds one token per spare worker goroutine. Capacity is
+	// workers-1: the goroutine that joins a group counts as the last
+	// worker, running tasks inline when no spare slot is free.
+	sem chan struct{}
+}
+
+// New returns a pool executing at most workers tasks concurrently.
+// workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 yields a pool
+// that runs every task inline on the submitting goroutine, reproducing
+// serial execution exactly.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers-1)}
+}
+
+// Workers returns the concurrency bound the pool was built with.
+func (p *Pool) Workers() int { return cap(p.sem) + 1 }
+
+// Group is a fork/join scope over a pool: tasks submitted with Go run
+// concurrently (bounded by the pool), Wait joins them, and the first
+// error wins — it is returned by Wait and cancels the group's context so
+// sibling tasks can stop early.
+type Group struct {
+	pool   *Pool
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	wg     sync.WaitGroup
+
+	once sync.Once
+	err  error
+}
+
+// Group returns a new fork/join scope whose tasks receive a context
+// derived from ctx (nil means context.Background()); the context is
+// canceled when any task errors or after Wait returns.
+func (p *Pool) Group(ctx context.Context) *Group {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gctx, cancel := context.WithCancelCause(ctx)
+	return &Group{pool: p, ctx: gctx, cancel: cancel}
+}
+
+// Context returns the group's derived context.
+func (g *Group) Context() context.Context { return g.ctx }
+
+// Go submits a task. If a spare worker slot is free the task runs on its
+// own goroutine; otherwise it runs inline before Go returns. Either way
+// the task's error (if first) is recorded and cancels the group. Go never
+// blocks waiting for a slot, so groups may nest without deadlocking.
+func (g *Group) Go(fn func(ctx context.Context) error) {
+	select {
+	case g.pool.sem <- struct{}{}:
+		g.wg.Add(1)
+		go func() {
+			defer func() {
+				<-g.pool.sem
+				g.wg.Done()
+			}()
+			g.record(fn(g.ctx))
+		}()
+	default:
+		g.record(fn(g.ctx))
+	}
+}
+
+func (g *Group) record(err error) {
+	if err == nil {
+		return
+	}
+	g.once.Do(func() {
+		g.err = err
+		g.cancel(err)
+	})
+}
+
+// Wait joins every submitted task and returns the first error, if any.
+// The group's context is canceled before Wait returns.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel(nil)
+	return g.err
+}
+
+// SplitSeed derives the i-th child seed from a base seed with a
+// splitmix64 finalizer. Children of one base are pairwise distinct for
+// i >= 0 and depend only on (seed, i), so a batch of randomized trials
+// keyed by trial index produces bit-identical results whether the trials
+// run serially or concurrently, in any completion order.
+func SplitSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	p := New(workers)
+	if p.Workers() != workers {
+		t.Fatalf("Workers() = %d, want %d", p.Workers(), workers)
+	}
+	g := p.Group(context.Background())
+	var cur, peak int32
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		g.Go(func(context.Context) error {
+			n := atomic.AddInt32(&cur, 1)
+			mu.Lock()
+			if n > peak {
+				peak = n
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			atomic.AddInt32(&cur, -1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", peak, workers)
+	}
+}
+
+func TestPoolSerialRunsInline(t *testing.T) {
+	p := New(1)
+	g := p.Group(context.Background())
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		// With one worker every task runs inline on this goroutine, in
+		// submission order, so appending without a lock is safe.
+		g.Go(func(context.Context) error {
+			order = append(order, i)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestGroupFirstErrorWinsAndCancels(t *testing.T) {
+	p := New(2)
+	g := p.Group(context.Background())
+	boom := errors.New("boom")
+	canceledSiblings := int32(0)
+	g.Go(func(context.Context) error { return boom })
+	for i := 0; i < 8; i++ {
+		g.Go(func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				atomic.AddInt32(&canceledSiblings, 1)
+			case <-time.After(2 * time.Second):
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait() = %v, want %v", err, boom)
+	}
+	if canceledSiblings == 0 {
+		t.Fatal("error did not cancel sibling tasks")
+	}
+}
+
+func TestGroupParentCancellation(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	g := p.Group(ctx)
+	done := make(chan struct{})
+	g.Go(func(ctx context.Context) error {
+		<-ctx.Done()
+		close(done)
+		return ctx.Err()
+	})
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("task did not observe parent cancellation")
+	}
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait() = %v, want context.Canceled", err)
+	}
+}
+
+func TestNestedGroupsDoNotDeadlock(t *testing.T) {
+	p := New(2)
+	outer := p.Group(context.Background())
+	var total int32
+	for i := 0; i < 6; i++ {
+		outer.Go(func(ctx context.Context) error {
+			inner := p.Group(ctx)
+			for j := 0; j < 6; j++ {
+				inner.Go(func(context.Context) error {
+					atomic.AddInt32(&total, 1)
+					return nil
+				})
+			}
+			return inner.Wait()
+		})
+	}
+	finished := make(chan error, 1)
+	go func() { finished <- outer.Wait() }()
+	select {
+	case err := <-finished:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested groups deadlocked")
+	}
+	if total != 36 {
+		t.Fatalf("ran %d inner tasks, want 36", total)
+	}
+}
+
+func TestSplitSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := SplitSeed(42, i)
+		if s != SplitSeed(42, i) {
+			t.Fatalf("SplitSeed(42, %d) not deterministic", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SplitSeed(42, %d) == SplitSeed(42, %d)", i, prev)
+		}
+		seen[s] = i
+	}
+	if SplitSeed(1, 0) == SplitSeed(2, 0) {
+		t.Fatal("different base seeds produced the same child")
+	}
+}

@@ -7,6 +7,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -129,6 +130,10 @@ func EvalCover(cov *cube.Cover, nin int, point uint64) []bool {
 
 // Options tunes the equivalence check.
 type Options struct {
+	// Ctx, when non-nil, is polled between states of the simulation sweep
+	// and passed down into the minimization; on cancellation the check
+	// returns the context error.
+	Ctx context.Context
 	// MaxExhaustiveInputs is the largest proper-input width checked
 	// exhaustively; wider machines are sampled. Default 10.
 	MaxExhaustiveInputs int
@@ -230,6 +235,11 @@ func Equivalent(f *kiss.FSM, asg encoding.Assignment, cov *cube.Cover, opt Optio
 
 	if f.NI <= opt.MaxExhaustiveInputs && symCount <= 64 {
 		for st := range f.States {
+			if opt.Ctx != nil {
+				if err := opt.Ctx.Err(); err != nil {
+					return err
+				}
+			}
 			for in := uint64(0); in < 1<<uint(f.NI); in++ {
 				inp := in
 				if err := forEachSym(func(sv []int) error { return check(inp, sv, st) }); err != nil {
@@ -242,6 +252,11 @@ func Equivalent(f *kiss.FSM, asg encoding.Assignment, cov *cube.Cover, opt Optio
 	rng := rand.New(rand.NewSource(opt.Seed + 7))
 	symVals := make([]int, len(f.SymIns))
 	for st := range f.States {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for t := 0; t < opt.Samples; t++ {
 			in := rng.Uint64() & ((1 << uint(f.NI)) - 1)
 			for j := range symVals {
@@ -261,6 +276,11 @@ func EquivalentFSM(f *kiss.FSM, asg encoding.Assignment, opt Options) error {
 	if err != nil {
 		return err
 	}
-	min := e.Minimize(espresso.Options{})
+	min := e.Minimize(espresso.Options{Ctx: opt.Ctx})
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return err
+		}
+	}
 	return Equivalent(f, asg, min, opt)
 }

@@ -25,8 +25,11 @@
 package nova
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
 
 	"nova/internal/baseline"
 	"nova/internal/constraint"
@@ -35,6 +38,7 @@ import (
 	"nova/internal/espresso"
 	"nova/internal/kiss"
 	"nova/internal/mvmin"
+	"nova/internal/sched"
 	"nova/internal/symbolic"
 	"nova/internal/verify"
 )
@@ -126,6 +130,29 @@ type Options struct {
 	FastMinimize bool
 	// KeepPLA attaches the minimized encoded PLA to the result.
 	KeepPLA bool
+	// Parallelism bounds the worker goroutines of one encoding run (and
+	// of a whole EncodeAll batch): 0 selects runtime.GOMAXPROCS(0), 1
+	// reproduces the historical serial execution exactly, larger values
+	// fan out the independent pieces of the run — the three Best
+	// candidate algorithms, the Random trial batch, the per-symbolic-
+	// input encodes, and the per-machine tasks of EncodeAll.
+	//
+	// Determinism guarantee: for a fixed Options value (Seed included)
+	// the returned Result is bit-identical for every Parallelism setting.
+	// Best joins its candidates by (area, fixed algorithm order), Random
+	// draws trial t from the seed sched.SplitSeed(Seed, t) and joins by
+	// (area, trial index), and per-variable encodes are deterministic and
+	// joined by variable index — so scheduling order never leaks into the
+	// result, only into wall-clock time.
+	Parallelism int
+}
+
+// workers resolves Parallelism to a concrete worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result reports an encoding and its two-level cost.
@@ -144,6 +171,10 @@ type Result struct {
 	// SatisfiedOC / TotalOC count output covering edges (iohybrid only).
 	SatisfiedOC, TotalOC int
 	// GaveUp is set when iexact exhausted its work budget.
+	//
+	// Deprecated: Encode now additionally returns an error matching
+	// errors.Is(err, ErrGaveUp) alongside the partial Result; test for
+	// that instead. The field remains for one release.
 	GaveUp bool
 	// RandomAvgArea is the batch average for Algorithm Random.
 	RandomAvgArea int
@@ -153,134 +184,298 @@ type Result struct {
 
 // Constraints derives the weighted input constraints of the FSM's state
 // variable (and of each symbolic input) by multiple-valued minimization.
+// It is ConstraintsContext with context.Background().
 func Constraints(f *FSM) (states []Constraint, symIns [][]Constraint, err error) {
+	return ConstraintsContext(context.Background(), f)
+}
+
+// ConstraintsContext is Constraints under a context: cancellation stops
+// the multiple-valued minimization between passes and returns an error
+// matching errors.Is(err, ErrCanceled).
+func ConstraintsContext(ctx context.Context, f *FSM) (states []Constraint, symIns [][]Constraint, err error) {
 	p, err := mvmin.Build(f)
 	if err != nil {
 		return nil, nil, err
 	}
-	cs := p.Constraints(p.Minimize(espresso.Options{}))
+	cs := p.Constraints(p.Minimize(espresso.Options{Ctx: ctx}))
+	if err := ctx.Err(); err != nil {
+		return nil, nil, canceledErr(err)
+	}
 	return cs.States, cs.SymIns, nil
 }
 
 // Encode runs the selected algorithm on the FSM and measures the encoded
-// two-level implementation.
+// two-level implementation. It is EncodeContext with
+// context.Background().
 func Encode(f *FSM, opt Options) (*Result, error) {
+	return EncodeContext(context.Background(), f, opt)
+}
+
+// EncodeContext is Encode under a context: cancellation or deadline
+// expiry propagates into the bounded-backtracking searches (checked at
+// their max_work tick) and the espresso loops (checked between passes),
+// so a runaway search stops promptly and the call returns an error
+// matching errors.Is(err, ErrCanceled).
+//
+// The run fans out its independent pieces — the three Best candidates,
+// the Random trial batch, the per-symbolic-input encodes — over a
+// bounded worker pool of Options.Parallelism goroutines; see that field
+// for the determinism guarantee.
+func EncodeContext(ctx context.Context, f *FSM, opt Options) (*Result, error) {
+	return encodeWith(ctx, sched.New(opt.workers()), f, opt)
+}
+
+// encodeWith is the engine behind EncodeContext and EncodeAll: every
+// fan-out of one run (or one batch) shares the same bounded pool.
+func encodeWith(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
 	if opt.Algorithm == "" {
 		opt.Algorithm = Best
 	}
-	mopt := espresso.Options{SkipReduce: opt.FastMinimize}
-	hopt := encode.HybridOptions{MaxWork: opt.MaxWork, Seed: opt.Seed}
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
+	}
+	switch opt.Algorithm {
+	case Best:
+		return encodeBest(ctx, pool, f, opt)
+	case Random:
+		return encodeRandom(ctx, pool, f, opt)
+	case OneHot, MustangP, MustangN, MustangPT, MustangNT:
+		res := &Result{Algorithm: opt.Algorithm}
+		if opt.Algorithm == OneHot {
+			res.Assignment = baseline.OneHotAssignment(f)
+		} else {
+			res.Assignment = baseline.MustangAssignment(f, mustangVariant(opt.Algorithm))
+		}
+		return finishEncode(ctx, f, res, opt)
+	case IOHybrid, IOVariant:
+		return encodeIO(ctx, pool, f, opt)
+	case IExact, IHybrid, IGreedy, KISS:
+		return encodeInput(ctx, pool, f, opt)
+	default:
+		return nil, fmt.Errorf("nova: unknown algorithm %q", opt.Algorithm)
+	}
+}
 
-	if opt.Algorithm == Best {
-		var best *Result
-		for _, alg := range []Algorithm{IHybrid, IGreedy, IOHybrid} {
+// minOpt / hybOpt derive the espresso and backtracking options of one
+// task from its (group) context.
+func minOpt(ctx context.Context, opt Options) espresso.Options {
+	return espresso.Options{SkipReduce: opt.FastMinimize, Ctx: ctx}
+}
+
+func hybOpt(ctx context.Context, opt Options) encode.HybridOptions {
+	return encode.HybridOptions{MaxWork: opt.MaxWork, Seed: opt.Seed, Ctx: ctx}
+}
+
+// encodeBest fans the three candidate algorithms of "best of NOVA" out
+// over the pool and joins deterministically: smallest area wins, ties
+// resolved by the fixed candidate order, exactly like the serial loop.
+func encodeBest(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
+	algs := []Algorithm{IHybrid, IGreedy, IOHybrid}
+	results := make([]*Result, len(algs))
+	g := pool.Group(ctx)
+	for i, alg := range algs {
+		g.Go(func(ctx context.Context) error {
 			o := opt
 			o.Algorithm = alg
-			r, err := Encode(f, o)
+			r, err := encodeWith(ctx, pool, f, o)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if best == nil || r.Area < best.Area {
-				best = r
-			}
-		}
-		best.Algorithm = Best
-		return best, nil
+			results[i] = r
+			return nil
+		})
 	}
-
-	if opt.Algorithm == Random {
-		trials := opt.RandomTrials
-		if trials <= 0 {
-			trials = baseline.DefaultRandomTrials(f)
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	var best *Result
+	for _, r := range results {
+		if best == nil || r.Area < best.Area {
+			best = r
 		}
-		var best *Result
-		sum := 0
-		for _, asg := range baseline.RandomAssignments(f, trials, opt.Seed) {
-			m, err := mvmin.Measure(f, asg, mopt)
+	}
+	best.Algorithm = Best
+	return best, nil
+}
+
+// encodeRandom measures the Random trial batch over the pool. Trial t is
+// drawn from sched.SplitSeed(opt.Seed, t), so the batch is bit-identical
+// to a serial run regardless of completion order; the join picks the
+// smallest area, ties resolved by the lowest trial index.
+func encodeRandom(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
+	trials := opt.RandomTrials
+	if trials <= 0 {
+		trials = baseline.DefaultRandomTrials(f)
+	}
+	type trial struct {
+		asg Assignment
+		m   mvmin.Metrics
+	}
+	out := make([]trial, trials)
+	g := pool.Group(ctx)
+	for t := 0; t < trials; t++ {
+		g.Go(func(ctx context.Context) error {
+			asg := baseline.RandomAssignment(f, sched.SplitSeed(opt.Seed, t))
+			m, err := mvmin.Measure(f, asg, minOpt(ctx, opt))
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("nova: random trial %d: %w", t, errors.Join(ErrUnencodable, err))
 			}
-			sum += m.Area
-			if best == nil || m.Area < best.Area {
-				best = &Result{Algorithm: Random, Assignment: asg, Bits: m.Bits, Cubes: m.Cubes, Area: m.Area}
-			}
-		}
-		best.RandomAvgArea = sum / trials
-		return finishResult(f, best, opt, mopt)
+			out[t] = trial{asg, m}
+			return nil
+		})
 	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
+	}
+	var best *Result
+	sum := 0
+	for _, tr := range out {
+		sum += tr.m.Area
+		if best == nil || tr.m.Area < best.Area {
+			best = &Result{Algorithm: Random, Assignment: tr.asg, Bits: tr.m.Bits, Cubes: tr.m.Cubes, Area: tr.m.Area}
+		}
+	}
+	best.RandomAvgArea = sum / trials
+	return finishEncode(ctx, f, best, opt)
+}
 
+// encodeIO runs iohybrid_code / iovariant_code: symbolic minimization,
+// then the state-variable embedding and the per-symbolic-input encodes
+// fanned out over the pool (joined by variable index).
+func encodeIO(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
 	res := &Result{Algorithm: opt.Algorithm}
-	switch opt.Algorithm {
-	case OneHot:
-		res.Assignment = baseline.OneHotAssignment(f)
-	case MustangP, MustangN, MustangPT, MustangNT:
-		res.Assignment = baseline.MustangAssignment(f, mustangVariant(opt.Algorithm))
-	case IOHybrid, IOVariant:
-		out, aerr := symbolic.Analyze(f, symbolic.Options{Min: mopt})
-		if aerr != nil {
-			return nil, aerr
-		}
-		var r encode.Result
+	out, aerr := symbolic.Analyze(f, symbolic.Options{Min: minOpt(ctx, opt)})
+	if aerr != nil {
+		return nil, aerr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
+	}
+	var r encode.Result
+	symRes := make([]encode.Result, len(f.SymIns))
+	g := pool.Group(ctx)
+	g.Go(func(ctx context.Context) error {
 		if opt.Algorithm == IOHybrid {
-			r = encode.IOHybrid(out.Problem, opt.Bits, hopt)
+			r = encode.IOHybrid(out.Problem, opt.Bits, hybOpt(ctx, opt))
 		} else {
-			r = encode.IOVariant(out.Problem, opt.Bits, hopt)
+			r = encode.IOVariant(out.Problem, opt.Bits, hybOpt(ctx, opt))
 		}
-		res.Assignment.States = r.Enc
-		res.WSat, res.WUnsat = r.WSat, r.WUnsat
-		res.SatisfiedOC, res.TotalOC = r.SatisfiedOC, r.TotalOC
-		for vi := range f.SymIns {
-			sr := encode.IHybrid(len(f.SymIns[vi].Values), out.SymIns[vi], 0, hopt)
-			res.Assignment.SymIns = append(res.Assignment.SymIns, sr.Enc)
+		if r.Err != nil {
+			return fmt.Errorf("nova: %s: state variable: %w", opt.Algorithm, canceledErr(r.Err))
 		}
-	case IExact, IHybrid, IGreedy, KISS:
-		p, berr := mvmin.Build(f)
-		if berr != nil {
-			return nil, berr
-		}
-		cs := p.Constraints(p.Minimize(mopt))
-		var r encode.Result
+		return nil
+	})
+	for vi := range f.SymIns {
+		g.Go(func(ctx context.Context) error {
+			sr := encode.IHybrid(len(f.SymIns[vi].Values), out.SymIns[vi], 0, hybOpt(ctx, opt))
+			if sr.Err != nil {
+				return fmt.Errorf("nova: %s: symbolic input %s: %w", opt.Algorithm, f.SymIns[vi].Name, canceledErr(sr.Err))
+			}
+			symRes[vi] = sr
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	res.Assignment.States = r.Enc
+	res.WSat, res.WUnsat = r.WSat, r.WUnsat
+	res.SatisfiedOC, res.TotalOC = r.SatisfiedOC, r.TotalOC
+	for _, sr := range symRes {
+		res.Assignment.SymIns = append(res.Assignment.SymIns, sr.Enc)
+	}
+	return finishEncode(ctx, f, res, opt)
+}
+
+// encodeInput runs the input-constraint algorithms (iexact, ihybrid,
+// igreedy, KISS-style): one multiple-valued minimization derives the
+// constraints, then the state-variable encode and the per-symbolic-input
+// encodes fan out over the pool (joined by variable index).
+func encodeInput(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
+	res := &Result{Algorithm: opt.Algorithm}
+	p, berr := mvmin.Build(f)
+	if berr != nil {
+		return nil, berr
+	}
+	cs := p.Constraints(p.Minimize(minOpt(ctx, opt)))
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
+	}
+	var r encode.Result
+	symRes := make([]encode.Result, len(f.SymIns))
+	g := pool.Group(ctx)
+	g.Go(func(ctx context.Context) error {
 		switch opt.Algorithm {
 		case IExact:
-			r = encode.IExact(f.NumStates(), cs.States, encode.ExactOptions{MaxWork: opt.MaxWork})
-			if r.GaveUp {
+			r = encode.IExact(f.NumStates(), cs.States, encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: ctx})
+			if r.Err == nil && r.GaveUp {
 				res.GaveUp = true
-				return res, nil
+				return fmt.Errorf("nova: %s: state variable: %w", opt.Algorithm, ErrGaveUp)
 			}
 		case IHybrid:
-			r = encode.IHybrid(f.NumStates(), cs.States, opt.Bits, hopt)
+			r = encode.IHybrid(f.NumStates(), cs.States, opt.Bits, hybOpt(ctx, opt))
 		case IGreedy:
 			r = encode.IGreedy(f.NumStates(), cs.States, opt.Bits)
 		case KISS:
 			r = encode.SatisfyAll(f.NumStates(), cs.States)
 		}
-		res.Assignment.States = r.Enc
-		res.WSat, res.WUnsat = r.WSat, r.WUnsat
-		for vi := range f.SymIns {
+		if r.Err != nil {
+			return fmt.Errorf("nova: %s: state variable: %w", opt.Algorithm, canceledErr(r.Err))
+		}
+		return nil
+	})
+	for vi := range f.SymIns {
+		g.Go(func(ctx context.Context) error {
 			n := len(f.SymIns[vi].Values)
 			var sr encode.Result
 			switch opt.Algorithm {
 			case IExact:
-				sr = encode.IExact(n, cs.SymIns[vi], encode.ExactOptions{MaxWork: opt.MaxWork})
-				if sr.GaveUp {
-					sr = encode.IHybrid(n, cs.SymIns[vi], 0, hopt)
+				sr = encode.IExact(n, cs.SymIns[vi], encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: ctx})
+				if sr.Err == nil && sr.GaveUp {
+					sr = encode.IHybrid(n, cs.SymIns[vi], 0, hybOpt(ctx, opt))
 				}
 			case KISS:
 				sr = encode.SatisfyAll(n, cs.SymIns[vi])
 			case IGreedy:
 				sr = encode.IGreedy(n, cs.SymIns[vi], 0)
 			default:
-				sr = encode.IHybrid(n, cs.SymIns[vi], 0, hopt)
+				sr = encode.IHybrid(n, cs.SymIns[vi], 0, hybOpt(ctx, opt))
 			}
-			res.Assignment.SymIns = append(res.Assignment.SymIns, sr.Enc)
-		}
-	default:
-		return nil, fmt.Errorf("nova: unknown algorithm %q", opt.Algorithm)
+			if sr.Err != nil {
+				return fmt.Errorf("nova: %s: symbolic input %s: %w", opt.Algorithm, f.SymIns[vi].Name, canceledErr(sr.Err))
+			}
+			symRes[vi] = sr
+			return nil
+		})
 	}
+	if err := g.Wait(); err != nil {
+		if errors.Is(err, ErrGaveUp) {
+			return res, err // partial Result with the deprecated GaveUp flag
+		}
+		return nil, err
+	}
+	res.Assignment.States = r.Enc
+	res.WSat, res.WUnsat = r.WSat, r.WUnsat
+	for _, sr := range symRes {
+		res.Assignment.SymIns = append(res.Assignment.SymIns, sr.Enc)
+	}
+	return finishEncode(ctx, f, res, opt)
+}
+
+// finishEncode completes a run whose assignment is chosen: symbolic
+// outputs are filled in, the encoded machine is minimized and measured.
+func finishEncode(ctx context.Context, f *FSM, res *Result, opt Options) (*Result, error) {
+	mopt := minOpt(ctx, opt)
 	if err := fillSymbolicOutputs(f, res, mopt); err != nil {
 		return nil, err
 	}
-	return finishResult(f, res, opt, mopt)
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
+	}
+	return finishResult(ctx, f, res, opt, mopt)
 }
 
 // fillSymbolicOutputs encodes any symbolic output variables that the
@@ -316,12 +511,17 @@ func mustangVariant(a Algorithm) baseline.MustangVariant {
 }
 
 // finishResult minimizes the encoded machine and fills the cost fields.
-func finishResult(f *FSM, res *Result, opt Options, mopt espresso.Options) (*Result, error) {
+func finishResult(ctx context.Context, f *FSM, res *Result, opt Options, mopt espresso.Options) (*Result, error) {
 	e, err := mvmin.EncodePLA(f, res.Assignment)
 	if err != nil {
-		return nil, err
+		// The chosen assignment cannot be turned into a two-level
+		// implementation (for example, it would need more than 64 bits).
+		return nil, fmt.Errorf("nova: %s: %w", res.Algorithm, errors.Join(ErrUnencodable, err))
 	}
 	min := e.Minimize(mopt)
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
+	}
 	res.Bits = res.Assignment.TotalBits()
 	res.Cubes = min.Len()
 	res.Area = kiss.Area(f.NI+res.Assignment.InputBits(), res.Assignment.States.Bits,
@@ -339,8 +539,20 @@ func finishResult(f *FSM, res *Result, opt Options, mopt espresso.Options) (*Res
 // Verify checks that an assignment implements the FSM: the encoded,
 // minimized machine is simulated against the symbolic table on every
 // (input, state) combination (sampled when the input space is large).
+// It is VerifyContext with context.Background().
 func Verify(f *FSM, asg Assignment) error {
-	return verify.EquivalentFSM(f, asg, verify.Options{})
+	return VerifyContext(context.Background(), f, asg)
+}
+
+// VerifyContext is Verify under a context: cancellation stops the
+// minimization of the encoded machine and the simulation sweep, and
+// returns an error matching errors.Is(err, ErrCanceled).
+func VerifyContext(ctx context.Context, f *FSM, asg Assignment) error {
+	err := verify.EquivalentFSM(f, asg, verify.Options{Ctx: ctx})
+	if cerr := ctx.Err(); cerr != nil {
+		return canceledErr(cerr)
+	}
+	return err
 }
 
 // MinLength returns ceil(log2 n), the minimum encoding length for n
