@@ -14,6 +14,7 @@ import (
 
 	"nova"
 	"nova/internal/bench"
+	"nova/internal/cube"
 	"nova/internal/encode"
 	"nova/internal/espresso"
 	"nova/internal/experiments"
@@ -28,6 +29,17 @@ func runnerOpts() experiments.RunOpts {
 	return experiments.RunOpts{Only: fastSubset, Seed: 1}
 }
 
+// skipShort keeps `go test -short -bench=.` in the seconds range: the
+// experiment regenerations take minutes of CPU, which the short tier
+// (pre-commit, CI smoke) does not pay. The full tier (`make bench`,
+// nightly) runs everything.
+func skipShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavy experiment benchmark skipped in -short mode")
+	}
+}
+
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(runnerOpts())
@@ -38,6 +50,7 @@ func BenchmarkTableI(b *testing.B) {
 }
 
 func BenchmarkTableII(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(runnerOpts())
 		if _, err := r.TableII(); err != nil {
@@ -47,6 +60,7 @@ func BenchmarkTableII(b *testing.B) {
 }
 
 func BenchmarkTableIII(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(runnerOpts())
 		if _, err := r.TableIII(); err != nil {
@@ -56,6 +70,7 @@ func BenchmarkTableIII(b *testing.B) {
 }
 
 func BenchmarkTableIV(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(runnerOpts())
 		if _, err := r.TableIV(); err != nil {
@@ -65,6 +80,7 @@ func BenchmarkTableIV(b *testing.B) {
 }
 
 func BenchmarkTableV(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(runnerOpts())
 		if _, err := r.TableV(); err != nil {
@@ -74,6 +90,7 @@ func BenchmarkTableV(b *testing.B) {
 }
 
 func BenchmarkTableVI(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(runnerOpts())
 		if _, err := r.TableVI(); err != nil {
@@ -83,6 +100,7 @@ func BenchmarkTableVI(b *testing.B) {
 }
 
 func BenchmarkTableVII(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(runnerOpts())
 		if _, err := r.TableVII(); err != nil {
@@ -92,6 +110,7 @@ func BenchmarkTableVII(b *testing.B) {
 }
 
 func BenchmarkFigureVIII(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(runnerOpts())
 		if _, err := r.FigureVIII(); err != nil {
@@ -101,6 +120,7 @@ func BenchmarkFigureVIII(b *testing.B) {
 }
 
 func BenchmarkFigureIX(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(runnerOpts())
 		if _, err := r.FigureIX(); err != nil {
@@ -110,6 +130,7 @@ func BenchmarkFigureIX(b *testing.B) {
 }
 
 func BenchmarkFigureX(b *testing.B) {
+	skipShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(runnerOpts())
 		if _, err := r.FigureX(); err != nil {
@@ -123,6 +144,7 @@ func BenchmarkFigureX(b *testing.B) {
 // BenchmarkAblationWeightOrder measures ihybrid's decreasing-weight
 // acceptance order against the reversed order (DESIGN.md §5).
 func BenchmarkAblationWeightOrder(b *testing.B) {
+	skipShort(b)
 	f := bench.Get("ex3")
 	totalDesc, totalAsc := 0, 0
 	for i := 0; i < b.N; i++ {
@@ -139,6 +161,7 @@ func BenchmarkAblationWeightOrder(b *testing.B) {
 
 // BenchmarkAblationMaxWork sweeps the semiexact max_work bound.
 func BenchmarkAblationMaxWork(b *testing.B) {
+	skipShort(b)
 	f := bench.Get("ex2")
 	p, err := mvmin.Build(f)
 	if err != nil {
@@ -160,6 +183,7 @@ func BenchmarkAblationMaxWork(b *testing.B) {
 // BenchmarkAblationIOVariant compares iohybrid against iovariant (the
 // paper reports iohybrid wins; Section 6.2.2).
 func BenchmarkAblationIOVariant(b *testing.B) {
+	skipShort(b)
 	f := bench.Get("train11")
 	for _, alg := range []nova.Algorithm{nova.IOHybrid, nova.IOVariant} {
 		b.Run(string(alg), func(b *testing.B) {
@@ -180,6 +204,7 @@ func BenchmarkAblationIOVariant(b *testing.B) {
 // reproducing the paper's observation that longer codes satisfying more
 // constraints do not pay off in area (Table II discussion).
 func BenchmarkAblationCodeLength(b *testing.B) {
+	skipShort(b)
 	f := bench.Get("ex5")
 	min := nova.MinLength(f.NumStates())
 	for bits := min; bits <= min+2; bits++ {
@@ -200,6 +225,7 @@ func BenchmarkAblationCodeLength(b *testing.B) {
 // BenchmarkAblationSymbolicOrder compares the two next-state selection
 // orders of the symbolic minimization loop (step 4 of Section 6.1).
 func BenchmarkAblationSymbolicOrder(b *testing.B) {
+	skipShort(b)
 	f := bench.Get("ex3")
 	for _, small := range []bool{false, true} {
 		name := "big-first"
@@ -226,6 +252,7 @@ func BenchmarkAblationSymbolicOrder(b *testing.B) {
 // increasing pool widths; the serial/parallel speedup is only visible on
 // multi-core machines, the results stay bit-identical everywhere.
 func BenchmarkEncodeAllBest(b *testing.B) {
+	skipShort(b)
 	var fsms []*nova.FSM
 	for _, name := range fastSubset {
 		fsms = append(fsms, bench.Get(name))
@@ -245,6 +272,7 @@ func BenchmarkEncodeAllBest(b *testing.B) {
 // BenchmarkEncodeBestParallelism measures a single Best encode (the
 // three-candidate fan-out) serially and with a four-worker pool.
 func BenchmarkEncodeBestParallelism(b *testing.B) {
+	skipShort(b)
 	f := bench.Get("bbara")
 	for _, par := range []int{1, 4} {
 		b.Run("parallelism-"+itoa(par), func(b *testing.B) {
@@ -261,6 +289,7 @@ func BenchmarkEncodeBestParallelism(b *testing.B) {
 // --------------------------------------------------------- micro benches
 
 func BenchmarkMVMinimizePlanet(b *testing.B) {
+	skipShort(b)
 	f := bench.Get("planet")
 	p, err := mvmin.Build(f)
 	if err != nil {
@@ -272,7 +301,83 @@ func BenchmarkMVMinimizePlanet(b *testing.B) {
 	}
 }
 
+// benchSink defeats dead-code elimination in the micro benches.
+var benchSink int
+
+// mvProblem builds the symbolic cover of a suite machine for the
+// core-algorithm micro benches.
+func mvProblem(b *testing.B, name string) *mvmin.Problem {
+	b.Helper()
+	p, err := mvmin.Build(bench.Get(name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkTautology measures the unate-recursion kernel through the
+// question IRREDUNDANT asks for every cube: "does the rest of the cover,
+// plus the don't-care set, cover this cube?" — i.e. tautology of the
+// cofactored cover. The rest-covers are prebuilt so the timed region is
+// the recursion itself.
+func BenchmarkTautology(b *testing.B) {
+	p := mvProblem(b, "planet")
+	on, dc := p.On, p.Dc
+	n := len(on.Cubes)
+	if n > 24 {
+		n = 24
+	}
+	rests := make([]*cube.Cover, n)
+	for j := 0; j < n; j++ {
+		rest := cube.NewCover(p.S)
+		for k, c := range on.Cubes {
+			if k != j {
+				rest.Add(c)
+			}
+		}
+		for _, c := range dc.Cubes {
+			rest.Add(c)
+		}
+		rests[j] = rest
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		covered := 0
+		for j := 0; j < n; j++ {
+			if rests[j].CoversCube(on.Cubes[j]) {
+				covered++
+			}
+		}
+		benchSink = covered
+	}
+}
+
+// BenchmarkComplement measures complementation of a real symbolic cover
+// (the operation mvmin.Build runs to derive the global don't-care set).
+func BenchmarkComplement(b *testing.B) {
+	p := mvProblem(b, "keyb")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = p.On.Complement().Len()
+	}
+}
+
+// BenchmarkExpand measures the EXPAND step in isolation on a fresh copy of
+// the on-set each iteration (EXPAND mutates its argument).
+func BenchmarkExpand(b *testing.B) {
+	p := mvProblem(b, "planet")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := p.On.Copy()
+		b.StartTimer()
+		espresso.Expand(f, p.Dc)
+		benchSink = f.Len()
+	}
+}
+
 func BenchmarkIHybridKeyb(b *testing.B) {
+	skipShort(b)
 	f := bench.Get("keyb")
 	p, err := mvmin.Build(f)
 	if err != nil {
@@ -286,6 +391,7 @@ func BenchmarkIHybridKeyb(b *testing.B) {
 }
 
 func BenchmarkIGreedyPlanet(b *testing.B) {
+	skipShort(b)
 	f := bench.Get("planet")
 	p, err := mvmin.Build(f)
 	if err != nil {
@@ -299,6 +405,7 @@ func BenchmarkIGreedyPlanet(b *testing.B) {
 }
 
 func BenchmarkEncodePipelineBbara(b *testing.B) {
+	skipShort(b)
 	f := bench.Get("bbara")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

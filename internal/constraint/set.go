@@ -147,6 +147,15 @@ func (s Set) Union(t Set) Set {
 	return r
 }
 
+// IntersectCard returns #(s ∩ t) without materializing the intersection.
+func (s Set) IntersectCard(t Set) int {
+	n := 0
+	for i := range s.w {
+		n += bits.OnesCount64(s.w[i] & t.w[i])
+	}
+	return n
+}
+
 // Intersects reports whether s ∩ t is nonempty.
 func (s Set) Intersects(t Set) bool {
 	for i := range s.w {

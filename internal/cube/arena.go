@@ -1,0 +1,169 @@
+package cube
+
+import "sort"
+
+// Arena is a scratch allocator for the unate-recursion hot path: a free
+// list of cubes and cover containers tied to one Structure layout, plus a
+// memo cache for tautology results. The recursion of Tautology /
+// CoversCube / Complement allocates one cofactor cover per node; with an
+// arena those buffers are recycled instead of handed to the garbage
+// collector, which removes the dominant allocation cost of the ESPRESSO
+// passes.
+//
+// An Arena is NOT safe for concurrent use. Obtain one with GetArena and
+// return it with PutArena; the backing sync.Pool hands each worker its own
+// arena, which is what keeps parallel encoding race-free.
+type Arena struct {
+	s      *Structure
+	cubes  []Cube
+	covers []*Cover
+
+	// memo caches tautology verdicts keyed by the canonical serialized
+	// content of a cover. Keys are content-exact, so a hit can never be
+	// wrong; entries stay valid across calls and across equal-layout
+	// structures. memoIdx/memoBuf are reusable scratch for key building.
+	memo    map[string]bool
+	memoIdx []int
+	memoBuf []byte
+}
+
+// memoMinCubes is the smallest cover worth memoizing: below this the
+// recursion is cheaper than the key construction.
+const memoMinCubes = 4
+
+// memoMaxEntries bounds the cache; it is cleared when returned to the
+// pool above this size.
+const memoMaxEntries = 1 << 14
+
+// NewArena returns an empty arena for structure s.
+func NewArena(s *Structure) *Arena { return &Arena{s: s} }
+
+// GetArena checks an arena for s's layout out of the shared pool. The
+// caller has exclusive use of it until PutArena.
+func GetArena(s *Structure) *Arena {
+	if v := s.pool.Get(); v != nil {
+		a := v.(*Arena)
+		a.s = s // equal layout: masks and widths are interchangeable
+		return a
+	}
+	return NewArena(s)
+}
+
+// PutArena returns an arena to its layout's pool.
+func PutArena(a *Arena) {
+	if a == nil {
+		return
+	}
+	if len(a.memo) > memoMaxEntries {
+		a.memo = nil
+	}
+	a.s.pool.Put(a)
+}
+
+// NewCube returns a zeroed cube, recycled when possible.
+func (a *Arena) NewCube() Cube {
+	if n := len(a.cubes); n > 0 {
+		c := a.cubes[n-1]
+		a.cubes = a.cubes[:n-1]
+		for i := range c {
+			c[i] = 0
+		}
+		return c
+	}
+	return make(Cube, a.s.nwords)
+}
+
+// CopyCube returns an arena-backed copy of c.
+func (a *Arena) CopyCube(c Cube) Cube {
+	r := a.NewCube()
+	copy(r, c)
+	return r
+}
+
+// FreeCube recycles c. The caller must not retain references to it.
+func (a *Arena) FreeCube(c Cube) {
+	if len(c) == a.s.nwords {
+		a.cubes = append(a.cubes, c)
+	}
+}
+
+// NewCover returns an empty cover container over the arena's structure.
+func (a *Arena) NewCover() *Cover {
+	if n := len(a.covers); n > 0 {
+		f := a.covers[n-1]
+		a.covers = a.covers[:n-1]
+		f.S = a.s
+		f.Cubes = f.Cubes[:0]
+		return f
+	}
+	return &Cover{S: a.s}
+}
+
+// FreeCover recycles the cover container only; its cubes are left alone
+// (for covers whose cubes alias caller-owned data).
+func (a *Arena) FreeCover(f *Cover) {
+	f.Cubes = f.Cubes[:0]
+	a.covers = append(a.covers, f)
+}
+
+// Release recycles the cover container and every cube in it. Only covers
+// whose cubes were all allocated from this arena (cofactor covers built by
+// the recursion) may be released.
+func (a *Arena) Release(f *Cover) {
+	for _, c := range f.Cubes {
+		a.FreeCube(c)
+	}
+	a.FreeCover(f)
+}
+
+// coverKey builds the canonical content key of f: cube indices sorted
+// lexicographically by words, then all words serialized little-endian.
+// Two covers get the same key iff they contain the same multiset of cubes.
+func (a *Arena) coverKey(f *Cover) string {
+	n := len(f.Cubes)
+	if cap(a.memoIdx) < n {
+		a.memoIdx = make([]int, n)
+	}
+	idx := a.memoIdx[:n]
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		cx, cy := f.Cubes[idx[x]], f.Cubes[idx[y]]
+		for w := range cx {
+			if cx[w] != cy[w] {
+				return cx[w] < cy[w]
+			}
+		}
+		return false
+	})
+	need := n * a.s.nwords * 8
+	if cap(a.memoBuf) < need {
+		a.memoBuf = make([]byte, need)
+	}
+	buf := a.memoBuf[:0]
+	for _, i := range idx {
+		for _, w := range f.Cubes[i] {
+			buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+	}
+	a.memoBuf = buf[:0]
+	return string(buf)
+}
+
+// memoGet looks up a tautology verdict.
+func (a *Arena) memoGet(key string) (bool, bool) {
+	v, ok := a.memo[key]
+	return v, ok
+}
+
+// memoPut stores a tautology verdict.
+func (a *Arena) memoPut(key string, v bool) {
+	if a.memo == nil {
+		a.memo = make(map[string]bool)
+	}
+	if len(a.memo) < memoMaxEntries {
+		a.memo[key] = v
+	}
+}

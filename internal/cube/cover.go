@@ -73,6 +73,53 @@ func (f *Cover) CofactorCube(c Cube) *Cover {
 	return g
 }
 
+// cofactorCoverWith builds F/c from arena buffers. With prune set, cubes
+// contained in another cube of the cofactor are dropped (row dominance on
+// the personality matrix): sound for the tautology question, which only
+// sees the union, but not used where the cover itself is the result.
+func (f *Cover) cofactorCoverWith(a *Arena, c Cube, prune bool) *Cover {
+	s := f.S
+	g := a.NewCover()
+	for _, q := range f.Cubes {
+		if !s.Intersects(q, c) {
+			continue
+		}
+		r := a.NewCube()
+		s.cofactorInto(r, q, c)
+		g.Cubes = append(g.Cubes, r)
+	}
+	if prune && len(g.Cubes) > 1 {
+		g.pruneDominatedRows(a)
+	}
+	return g
+}
+
+// pruneDominatedRows drops every cube contained in another cube of the
+// cover, recycling the dropped cubes. Of two equal cubes the first is kept.
+func (g *Cover) pruneDominatedRows(a *Arena) {
+	cs := g.Cubes
+	kept := cs[:0]
+	for i, ci := range cs {
+		dominated := false
+		for j, cj := range cs {
+			if i == j || cj == nil {
+				continue
+			}
+			if Contains(cj, ci) && (j < i || !Contains(ci, cj)) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			cs[i] = nil
+			a.FreeCube(ci)
+		} else {
+			kept = append(kept, ci)
+		}
+	}
+	g.Cubes = kept
+}
+
 // activeVar describes how constrained a variable is across a cover.
 type activeVar struct {
 	v       int
@@ -112,8 +159,19 @@ func (f *Cover) columnOr() Cube {
 // Tautology reports whether the cover covers the entire minterm space. The
 // implementation is the Shannon/unate-recursion procedure: quick checks for
 // a universe row and for a missing column, then branching on the most binate
-// variable and recursing on every value cofactor.
+// variable and recursing on every value cofactor. Scratch comes from a
+// pooled arena; use TautologyWith when the caller already holds one.
 func (f *Cover) Tautology() bool {
+	a := GetArena(f.S)
+	ok := f.TautologyWith(a)
+	PutArena(a)
+	return ok
+}
+
+// TautologyWith is Tautology with caller-provided scratch. The recursion
+// allocates cofactor covers from the arena and recycles them per node, and
+// consults the arena's memo cache for covers of at least memoMinCubes cubes.
+func (f *Cover) TautologyWith(a *Arena) bool {
 	if len(f.Cubes) == 0 {
 		return false
 	}
@@ -126,8 +184,19 @@ func (f *Cover) Tautology() bool {
 	}
 	// Missing column: some (variable, part) never admitted by any cube, so
 	// the minterms with that value are uncovered.
-	or := f.columnOr()
-	if !s.IsFull(or) {
+	or := a.NewCube()
+	for _, c := range f.Cubes {
+		Or(or, or, c)
+	}
+	fullCols := s.IsFull(or)
+	a.FreeCube(or)
+	if !fullCols {
+		return false
+	}
+	// Unate-leaf reject: no universe row, and in every variable all non-full
+	// fields agree. Pick, per such variable, a part outside the shared field;
+	// only a universe row could cover that minterm, so it is uncovered.
+	if f.weaklyUnate() {
 		return false
 	}
 	v := f.pickSplitVar()
@@ -138,27 +207,73 @@ func (f *Cover) Tautology() bool {
 	}
 	// Special case: exactly one active variable. Every cube full elsewhere,
 	// so tautology iff the column OR of v is full — already verified.
-	single := true
-	for _, c := range f.Cubes {
-		for u := 0; u < s.NumVars(); u++ {
-			if u != v && !s.VarFull(c, u) {
-				single = false
-				break
-			}
-		}
-		if !single {
-			break
-		}
-	}
-	if single {
+	if f.singleActiveVar(v) {
 		return true
 	}
-	sel := s.FullCube()
+	useMemo := len(f.Cubes) >= memoMinCubes
+	var key string
+	if useMemo {
+		key = a.coverKey(f)
+		if verdict, ok := a.memoGet(key); ok {
+			return verdict
+		}
+	}
+	res := true
+	sel := a.CopyCube(s.full)
 	for p := 0; p < s.Size(v); p++ {
 		s.ClearAll(sel, v)
 		s.Set(sel, v, p)
-		if !f.CofactorCube(sel).Tautology() {
-			return false
+		g := f.cofactorCoverWith(a, sel, true)
+		ok := g.TautologyWith(a)
+		a.Release(g)
+		if !ok {
+			res = false
+			break
+		}
+	}
+	a.FreeCube(sel)
+	if useMemo {
+		a.memoPut(key, res)
+	}
+	return res
+}
+
+// weaklyUnate reports whether, in every variable, all cubes with a non-full
+// field carry the same field. (A variable full in every cube is trivially
+// weakly unate.) For a cover with no universe row this certifies
+// non-tautology; see TautologyWith.
+func (f *Cover) weaklyUnate() bool {
+	s := f.S
+	for v := 0; v < s.NumVars(); v++ {
+		var ref Cube
+		for _, c := range f.Cubes {
+			if s.VarFull(c, v) {
+				continue
+			}
+			if ref == nil {
+				ref = c
+				continue
+			}
+			m := s.vmask[v]
+			for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+				if (ref[w]^c[w])&m[w] != 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// singleActiveVar reports whether v is the only variable with a non-full
+// field anywhere in the cover.
+func (f *Cover) singleActiveVar(v int) bool {
+	s := f.S
+	for _, c := range f.Cubes {
+		for u := 0; u < s.NumVars(); u++ {
+			if u != v && !s.VarFull(c, u) {
+				return false
+			}
 		}
 	}
 	return true
@@ -167,10 +282,32 @@ func (f *Cover) Tautology() bool {
 // CoversCube reports whether the cover contains cube c, i.e. every minterm
 // of c is covered by some cube of f. Implemented as Tautology(F/c).
 func (f *Cover) CoversCube(c Cube) bool {
+	a := GetArena(f.S)
+	ok := f.CoversCubeWith(a, c)
+	PutArena(a)
+	return ok
+}
+
+// CoversCubeWith is CoversCube with caller-provided scratch.
+func (f *Cover) CoversCubeWith(a *Arena, c Cube) bool {
 	if f.S.IsEmpty(c) {
 		return true
 	}
-	return f.CofactorCube(c).Tautology()
+	g := f.cofactorCoverWith(a, c, true)
+	ok := g.TautologyWith(a)
+	a.Release(g)
+	return ok
+}
+
+// ContainsCube reports whether some single cube of f contains c — the cheap
+// word-parallel pre-check before the full covering recursion.
+func (f *Cover) ContainsCube(c Cube) bool {
+	for _, q := range f.Cubes {
+		if Contains(q, c) {
+			return true
+		}
+	}
+	return false
 }
 
 // Complement returns a cover of the complement of f over the full minterm
@@ -178,6 +315,18 @@ func (f *Cover) CoversCube(c Cube) bool {
 // single-cube and unate-leaf terminal cases. The result is made minimal with
 // single-cube containment only.
 func (f *Cover) Complement() *Cover {
+	a := GetArena(f.S)
+	out := f.ComplementWith(a)
+	PutArena(a)
+	return out
+}
+
+// ComplementWith is Complement with caller-provided scratch. Cofactor covers
+// come from the arena; result cubes are plain allocations, since they escape
+// into the returned cover. Row-dominance pruning is deliberately NOT applied
+// to the cofactors here — it would change which complement cubes are emitted,
+// and Complement's output (unlike Tautology's verdict) is the result.
+func (f *Cover) ComplementWith(a *Arena) *Cover {
 	s := f.S
 	out := NewCover(s)
 	if len(f.Cubes) == 0 {
@@ -196,18 +345,20 @@ func (f *Cover) Complement() *Cover {
 	if v < 0 {
 		return out
 	}
-	sel := s.FullCube()
+	sel := a.CopyCube(s.full)
 	for p := 0; p < s.Size(v); p++ {
 		s.ClearAll(sel, v)
 		s.Set(sel, v, p)
-		sub := f.CofactorCube(sel).Complement()
+		g := f.cofactorCoverWith(a, sel, false)
+		sub := g.ComplementWith(a)
+		a.Release(g)
 		for _, c := range sub.Cubes {
-			r := c.Copy()
-			s.ClearAll(r, v)
-			s.Set(r, v, p)
-			out.Add(r)
+			s.ClearAll(c, v)
+			s.Set(c, v, p)
+			out.Add(c)
 		}
 	}
+	a.FreeCube(sel)
 	out.mergeAdjacent(v)
 	out.SingleCubeContainment()
 	return out
@@ -221,22 +372,18 @@ func (s *Structure) complementCube(c Cube) *Cover {
 	out := NewCover(s)
 	prefix := s.FullCube()
 	for v := 0; v < s.NumVars(); v++ {
+		m := s.vmask[v]
 		if !s.VarFull(c, v) {
 			r := prefix.Copy()
-			s.ClearAll(r, v)
-			for p := 0; p < s.Size(v); p++ {
-				if !s.Test(c, v, p) {
-					s.Set(r, v, p)
-				}
+			// Variable v admits exactly the parts missing from c's field.
+			for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+				r[w] = (r[w] &^ m[w]) | (m[w] &^ c[w])
 			}
 			out.Add(r)
 		}
 		// Restrict the prefix to the cube's field for subsequent entries.
-		off := s.Offset(v)
-		for p := 0; p < s.Size(v); p++ {
-			if !s.Test(c, v, p) {
-				prefix.clearBit(off + p)
-			}
+		for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+			prefix[w] &^= m[w] &^ c[w]
 		}
 	}
 	return out
@@ -247,23 +394,26 @@ func (s *Structure) complementCube(c Cube) *Cover {
 // after a Shannon split to curb complement growth.
 func (f *Cover) mergeAdjacent(v int) {
 	s := f.S
-	type key struct{ k string }
-	index := make(map[string]int)
-	var kept []Cube
-	mask := s.NewCube()
-	s.SetAll(mask, v)
+	index := make(map[string]int, len(f.Cubes))
+	kept := f.Cubes[:0]
+	buf := make([]byte, 0, s.nwords*8)
 	for _, c := range f.Cubes {
-		rest := c.Copy()
-		s.ClearAll(rest, v)
-		k := rest.Key()
-		if i, ok := index[k]; ok {
+		// Key: the cube's words with variable v's field masked out.
+		buf = buf[:0]
+		m := s.vmask[v]
+		for w, word := range c {
+			word &^= m[w]
+			buf = append(buf, byte(word), byte(word>>8), byte(word>>16),
+				byte(word>>24), byte(word>>32), byte(word>>40),
+				byte(word>>48), byte(word>>56))
+		}
+		if i, ok := index[string(buf)]; ok {
 			Or(kept[i], kept[i], c)
 			continue
 		}
-		index[k] = len(kept)
+		index[string(buf)] = len(kept)
 		kept = append(kept, c)
 	}
-	_ = key{}
 	f.Cubes = kept
 }
 

@@ -20,16 +20,28 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 )
 
 // Structure describes the variable layout shared by all cubes of a cover:
 // how many variables there are and how many parts (values) each has.
 // A Structure is immutable after creation.
+//
+// Alongside the layout it precomputes, per variable, a full-width word
+// mask and the word span the variable's field occupies, so the semantic
+// per-field operations (emptiness, fullness, counting, cofactor) run
+// word-parallel instead of bit by bit.
 type Structure struct {
 	sizes   []int // parts per variable
 	offsets []int // first bit index of each variable
 	nbits   int   // total parts
 	nwords  int   // words per cube
+
+	full     Cube   // the universe cube
+	vmask    []Cube // per-variable field mask, nwords wide
+	vlo, vhi []int  // first/last word index of each variable's field
+
+	pool *sync.Pool // shared Arena pool of this layout (see arena.go)
 }
 
 // NewStructure returns a Structure for variables with the given part counts.
@@ -49,8 +61,43 @@ func NewStructure(sizes ...int) *Structure {
 	if s.nwords == 0 {
 		s.nwords = 1
 	}
+	s.full = make(Cube, s.nwords)
+	s.vmask = make([]Cube, len(sizes))
+	s.vlo = make([]int, len(sizes))
+	s.vhi = make([]int, len(sizes))
+	for v, n := range sizes {
+		m := make(Cube, s.nwords)
+		for p := 0; p < n; p++ {
+			i := s.offsets[v] + p
+			m[i>>6] |= 1 << uint(i&63)
+		}
+		s.vmask[v] = m
+		s.vlo[v] = s.offsets[v] >> 6
+		s.vhi[v] = (s.offsets[v] + n - 1) >> 6
+	}
+	for i := 0; i < s.nbits; i++ {
+		s.full.setBit(i)
+	}
+	// Structures with the same layout share one arena pool, so scratch
+	// buffers survive across calls (and across equal-layout Structure
+	// values, as the per-candidate encoders create).
+	key := layoutKey(s.sizes)
+	p, _ := arenaPools.LoadOrStore(key, &sync.Pool{})
+	s.pool = p.(*sync.Pool)
 	return s
 }
+
+// layoutKey serializes a sizes vector for the arena-pool registry.
+func layoutKey(sizes []int) string {
+	var b strings.Builder
+	for _, n := range sizes {
+		fmt.Fprintf(&b, "%d.", n)
+	}
+	return b.String()
+}
+
+// arenaPools maps a layout key to the sync.Pool of Arenas for that layout.
+var arenaPools sync.Map
 
 // NumVars returns the number of variables.
 func (s *Structure) NumVars() int { return len(s.sizes) }
@@ -92,10 +139,8 @@ func (s *Structure) NewCube() Cube { return make(Cube, s.nwords) }
 
 // FullCube returns the universe cube: every part of every variable set.
 func (s *Structure) FullCube() Cube {
-	c := s.NewCube()
-	for i := 0; i < s.nbits; i++ {
-		c.setBit(i)
-	}
+	c := make(Cube, s.nwords)
+	copy(c, s.full)
 	return c
 }
 
@@ -114,15 +159,17 @@ func (s *Structure) Test(c Cube, v, p int) bool { return c.testBit(s.offsets[v] 
 
 // SetAll sets every part of variable v.
 func (s *Structure) SetAll(c Cube, v int) {
-	for p := 0; p < s.sizes[v]; p++ {
-		c.setBit(s.offsets[v] + p)
+	m := s.vmask[v]
+	for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+		c[w] |= m[w]
 	}
 }
 
 // ClearAll clears every part of variable v.
 func (s *Structure) ClearAll(c Cube, v int) {
-	for p := 0; p < s.sizes[v]; p++ {
-		c.clearBit(s.offsets[v] + p)
+	m := s.vmask[v]
+	for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+		c[w] &^= m[w]
 	}
 }
 
@@ -154,23 +201,33 @@ func (c Cube) Key() string {
 // VarCount returns the number of set parts of variable v in c.
 func (s *Structure) VarCount(c Cube, v int) int {
 	n := 0
-	off, sz := s.offsets[v], s.sizes[v]
-	for p := 0; p < sz; p++ {
-		if c.testBit(off + p) {
-			n++
-		}
+	m := s.vmask[v]
+	for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+		n += bits.OnesCount64(c[w] & m[w])
 	}
 	return n
 }
 
 // VarFull reports whether every part of variable v is set in c.
 func (s *Structure) VarFull(c Cube, v int) bool {
-	return s.VarCount(c, v) == s.sizes[v]
+	m := s.vmask[v]
+	for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+		if c[w]&m[w] != m[w] {
+			return false
+		}
+	}
+	return true
 }
 
 // VarEmpty reports whether no part of variable v is set in c.
 func (s *Structure) VarEmpty(c Cube, v int) bool {
-	return s.VarCount(c, v) == 0
+	m := s.vmask[v]
+	for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+		if c[w]&m[w] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // IsEmpty reports whether c denotes the empty set: some variable field has
@@ -186,8 +243,8 @@ func (s *Structure) IsEmpty(c Cube) bool {
 
 // IsFull reports whether c is the universe cube.
 func (s *Structure) IsFull(c Cube) bool {
-	for v := range s.sizes {
-		if !s.VarFull(c, v) {
+	for w, f := range s.full {
+		if c[w]&f != f {
 			return false
 		}
 	}
@@ -224,12 +281,27 @@ func Contains(a, b Cube) bool {
 	return true
 }
 
+// varDisjoint reports whether a and b have an empty intersection on
+// variable v's field.
+func (s *Structure) varDisjoint(a, b Cube, v int) bool {
+	m := s.vmask[v]
+	for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+		if a[w]&b[w]&m[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Intersects reports whether cubes a and b have a nonempty intersection
 // under structure s.
 func (s *Structure) Intersects(a, b Cube) bool {
-	t := s.NewCube()
-	And(t, a, b)
-	return !s.IsEmpty(t)
+	for v := range s.sizes {
+		if s.varDisjoint(a, b, v) {
+			return false
+		}
+	}
+	return true
 }
 
 // Distance returns the number of variables in which a and b have an empty
@@ -238,16 +310,7 @@ func (s *Structure) Intersects(a, b Cube) bool {
 func (s *Structure) Distance(a, b Cube) int {
 	d := 0
 	for v := range s.sizes {
-		empty := true
-		off, sz := s.offsets[v], s.sizes[v]
-		for p := 0; p < sz; p++ {
-			i := off + p
-			if a.testBit(i) && b.testBit(i) {
-				empty = false
-				break
-			}
-		}
-		if empty {
+		if s.varDisjoint(a, b, v) {
 			d++
 		}
 	}
@@ -260,16 +323,7 @@ func (s *Structure) Distance(a, b Cube) int {
 func (s *Structure) Consensus(a, b Cube) Cube {
 	conflict := -1
 	for v := range s.sizes {
-		empty := true
-		off, sz := s.offsets[v], s.sizes[v]
-		for p := 0; p < sz; p++ {
-			i := off + p
-			if a.testBit(i) && b.testBit(i) {
-				empty = false
-				break
-			}
-		}
-		if empty {
+		if s.varDisjoint(a, b, v) {
 			if conflict >= 0 {
 				return nil
 			}
@@ -281,14 +335,35 @@ func (s *Structure) Consensus(a, b Cube) Cube {
 	}
 	r := s.NewCube()
 	And(r, a, b)
-	off, sz := s.offsets[conflict], s.sizes[conflict]
-	for p := 0; p < sz; p++ {
-		i := off + p
-		if a.testBit(i) || b.testBit(i) {
-			r.setBit(i)
-		} else {
-			r.clearBit(i)
+	m := s.vmask[conflict]
+	for w := s.vlo[conflict]; w <= s.vhi[conflict]; w++ {
+		r[w] = (r[w] &^ m[w]) | ((a[w] | b[w]) & m[w])
+	}
+	return r
+}
+
+// ConsensusOn returns the consensus of a and b with respect to variable v:
+// the intersection of the two cubes on every other variable and the union
+// of their fields on v, or nil when that cube is empty. For cubes at
+// distance one this is the classic consensus on the conflict variable; for
+// already-intersecting cubes over a multiple-valued variable it can yield
+// a strictly larger implicant of a∪b, which the distance-based Consensus
+// never generates. A complete prime generator must take consensus with
+// respect to every variable.
+func (s *Structure) ConsensusOn(a, b Cube, v int) Cube {
+	for u := range s.sizes {
+		if u != v && s.varDisjoint(a, b, u) {
+			return nil
 		}
+	}
+	r := s.NewCube()
+	And(r, a, b)
+	m := s.vmask[v]
+	for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+		r[w] = (r[w] &^ m[w]) | ((a[w] | b[w]) & m[w])
+	}
+	if s.VarEmpty(r, v) {
+		return nil
 	}
 	return r
 }
@@ -301,15 +376,16 @@ func (s *Structure) Cofactor(q, c Cube) Cube {
 		return nil
 	}
 	r := q.Copy()
-	for v := range s.sizes {
-		off, sz := s.offsets[v], s.sizes[v]
-		for p := 0; p < sz; p++ {
-			if !c.testBit(off + p) {
-				r.setBit(off + p)
-			}
-		}
-	}
+	s.cofactorInto(r, q, c)
 	return r
+}
+
+// cofactorInto stores the cofactor of q with respect to c into r (callers
+// must have established that q and c intersect). r may alias q.
+func (s *Structure) cofactorInto(r, q, c Cube) {
+	for w, f := range s.full {
+		r[w] = q[w] | (f &^ c[w])
+	}
 }
 
 // PopCount returns the total number of set parts in c.

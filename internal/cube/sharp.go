@@ -10,25 +10,28 @@ package cube
 // b lowers parts of a.
 func (s *Structure) SharpCube(a, b Cube) *Cover {
 	out := NewCover(s)
-	t := s.NewCube()
-	And(t, a, b)
-	if s.IsEmpty(t) {
+	if !s.Intersects(a, b) {
 		out.Add(a.Copy())
 		return out
 	}
 	for v := 0; v < s.NumVars(); v++ {
 		// Parts of a's field not admitted by b.
-		c := a.Copy()
+		m := s.vmask[v]
 		any := false
-		off := s.Offset(v)
-		for p := 0; p < s.Size(v); p++ {
-			if s.Test(a, v, p) && s.Test(b, v, p) {
-				c.clearBit(off + p)
-			} else if s.Test(a, v, p) {
+		for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+			if a[w]&^b[w]&m[w] != 0 {
 				any = true
+				break
 			}
 		}
-		if any && !s.IsEmpty(c) {
+		if !any {
+			continue
+		}
+		c := a.Copy()
+		for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+			c[w] &^= a[w] & b[w] & m[w]
+		}
+		if !s.IsEmpty(c) {
 			out.Add(c)
 		}
 	}
@@ -40,32 +43,32 @@ func (s *Structure) SharpCube(a, b Cube) *Cover {
 // variables.
 func (s *Structure) DisjointSharpCube(a, b Cube) *Cover {
 	out := NewCover(s)
-	t := s.NewCube()
-	And(t, a, b)
-	if s.IsEmpty(t) {
+	if !s.Intersects(a, b) {
 		out.Add(a.Copy())
 		return out
 	}
 	prefix := a.Copy()
 	for v := 0; v < s.NumVars(); v++ {
-		off := s.Offset(v)
-		c := prefix.Copy()
+		m := s.vmask[v]
 		any := false
-		for p := 0; p < s.Size(v); p++ {
-			if s.Test(a, v, p) && s.Test(b, v, p) {
-				c.clearBit(off + p)
-			} else if s.Test(a, v, p) {
+		for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+			if a[w]&^b[w]&m[w] != 0 {
 				any = true
+				break
 			}
 		}
-		if any && !s.IsEmpty(c) {
-			out.Add(c)
+		if any {
+			c := prefix.Copy()
+			for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+				c[w] &^= a[w] & b[w] & m[w]
+			}
+			if !s.IsEmpty(c) {
+				out.Add(c)
+			}
 		}
 		// Restrict the prefix to a∩b on this variable for later cubes.
-		for p := 0; p < s.Size(v); p++ {
-			if !s.Test(b, v, p) {
-				prefix.clearBit(off + p)
-			}
+		for w := s.vlo[v]; w <= s.vhi[v]; w++ {
+			prefix[w] &^= m[w] &^ b[w]
 		}
 	}
 	return out

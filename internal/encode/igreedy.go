@@ -145,23 +145,22 @@ func (st *greedyState) faceOK(s constraint.Set, f face.Face) bool {
 		}
 	}
 	for _, cl := range st.sat {
-		x := s.Intersect(cl.set)
 		switch {
-		case x.IsEmpty():
+		case !s.Intersects(cl.set):
 			if f.Intersects(cl.f) {
 				return false
 			}
-		case x.Equal(s): // s ⊆ claimed set
+		case s.SubsetOf(cl.set):
 			if !cl.f.Contains(f) {
 				return false
 			}
-		case x.Equal(cl.set): // claimed set ⊆ s
+		case cl.set.SubsetOf(s):
 			if !f.Contains(cl.f) {
 				return false
 			}
 		default:
 			h, ok := f.Intersect(cl.f)
-			if !ok || h.Cardinality() < x.Card() {
+			if !ok || h.Cardinality() < s.IntersectCard(cl.set) {
 				return false
 			}
 		}

@@ -67,6 +67,12 @@ type searcher struct {
 
 	oc         []OCEdge
 	singletons []*constraint.Node // per symbol
+
+	// Scratch buffers reused across next_to_code calls. Both are consumed
+	// before the search recurses (nextToCode returns a single node, and
+	// its level probes are read immediately), so plain reuse is safe.
+	lvbuf    []int
+	candsBuf []*constraint.Node
 }
 
 func newSearcher(g *constraint.Graph, k int) *searcher {
@@ -168,9 +174,8 @@ func (s *searcher) checkFace(nd *constraint.Node, f face.Face) bool {
 		if !ndSingle && !jcSingle {
 			continue
 		}
-		x := nd.Set.Intersect(jc.Set)
 		_, nonempty := f.Intersect(g)
-		if x.IsEmpty() {
+		if !nd.Set.Intersects(jc.Set) {
 			if nonempty {
 				return false
 			}
@@ -371,31 +376,34 @@ func (s *searcher) selectable(nd *constraint.Node) bool {
 	}
 }
 
-// feasibleLevels returns the candidate face levels for nd, best (largest)
-// first, respecting the primary level vector for cat-1 constraints and the
-// father's face for cat-3 constraints.
-func (s *searcher) feasibleLevels(nd *constraint.Node) []int {
+// feasibleLevels appends the candidate face levels for nd to buf[:0],
+// best (largest) first, respecting the primary level vector for cat-1
+// constraints and the father's face for cat-3 constraints. Callers pass
+// a scratch buffer (stack array or the searcher's lvbuf) so the hot
+// next_to_code probes never allocate; the returned slice is only valid
+// until buf's next reuse.
+func (s *searcher) feasibleLevels(nd *constraint.Node, buf []int) []int {
+	out := buf[:0]
 	if nd.Set.Card() == 1 {
-		return []int{0} // states take vertices
+		return append(out, 0) // states take vertices
 	}
 	ml := minLevel(nd)
 	switch nd.Cat() {
 	case constraint.Cat1:
 		if s.levels != nil {
 			if l, ok := s.levels[nd]; ok {
-				return []int{l}
+				return append(out, l)
 			}
 		}
-		return []int{ml}
+		return append(out, ml)
 	case constraint.Cat3:
 		fl := s.assigned[nd.Fathers[0]].Level()
 		if !s.allLevels {
 			if ml <= fl-1 {
-				return []int{ml}
+				return append(out, ml)
 			}
 			return nil
 		}
-		var out []int
 		for l := ml; l <= fl-1; l++ {
 			out = append(out, l)
 		}
@@ -420,17 +428,19 @@ func shares(a, b *constraint.Node) bool {
 // with lic the most recently selected node (nil at the start, in which
 // case the cat-1 node of largest minimum level is taken).
 func (s *searcher) nextToCode(lic *constraint.Node) *constraint.Node {
-	var cands []*constraint.Node
+	cands := s.candsBuf[:0]
 	for _, nd := range s.g.Nodes {
 		if s.selectable(nd) {
 			cands = append(cands, nd)
 		}
 	}
+	s.candsBuf = cands
 	if len(cands) == 0 {
 		return nil
 	}
 	maxFeasible := func(nd *constraint.Node) int {
-		ls := s.feasibleLevels(nd)
+		ls := s.feasibleLevels(nd, s.lvbuf)
+		s.lvbuf = ls[:0]
 		if len(ls) == 0 {
 			return -1
 		}
@@ -453,7 +463,9 @@ func (s *searcher) nextToCode(lic *constraint.Node) *constraint.Node {
 	}
 	cur := s.assigned[lic].Level()
 	canLevel := func(nd *constraint.Node, l int) bool {
-		for _, fl := range s.feasibleLevels(nd) {
+		ls := s.feasibleLevels(nd, s.lvbuf)
+		s.lvbuf = ls[:0]
+		for _, fl := range ls {
 			if fl == l {
 				return true
 			}
@@ -485,7 +497,9 @@ func (s *searcher) nextToCode(lic *constraint.Node) *constraint.Node {
 			if cat1Only && nd.Cat() != constraint.Cat1 {
 				continue
 			}
-			for _, l := range s.feasibleLevels(nd) {
+			ls := s.feasibleLevels(nd, s.lvbuf)
+			s.lvbuf = ls[:0]
+			for _, l := range ls {
 				if l < cur && l > bestL {
 					best, bestL = nd, l
 				}
@@ -532,9 +546,13 @@ func (s *searcher) candidates(nd *constraint.Node, emit func(face.Face) bool) {
 		})
 		return
 	}
+	// The level slices here must survive the recursion inside emit (the
+	// search re-enters nextToCode and its scratch buffers), so each
+	// candidates frame keeps its own stack buffer instead of s.lvbuf.
+	var lb [16]int
 	switch nd.Cat() {
 	case constraint.Cat1:
-		for _, l := range s.feasibleLevels(nd) {
+		for _, l := range s.feasibleLevels(nd, lb[:0]) {
 			g := face.NewGen(s.k, l)
 			for f, ok := g.Next(); ok; f, ok = g.Next() {
 				if !emit(f) {
@@ -552,7 +570,7 @@ func (s *searcher) candidates(nd *constraint.Node, emit func(face.Face) bool) {
 			}
 		}
 		m := len(free)
-		for _, l := range s.feasibleLevels(nd) {
+		for _, l := range s.feasibleLevels(nd, lb[:0]) {
 			g := face.NewGen(m, l)
 			for sub, ok := g.Next(); ok; sub, ok = g.Next() {
 				// Map the m-dimensional subface into the father's face.

@@ -151,11 +151,11 @@ func TestFeasibleLevels(t *testing.T) {
 	s := newSearcher(g, 4)
 	s.allLevels = true
 	prim := g.Lookup(constraint.MustFromString("1110000"))
-	if ls := s.feasibleLevels(prim); len(ls) != 1 || ls[0] != 2 {
+	if ls := s.feasibleLevels(prim, nil); len(ls) != 1 || ls[0] != 2 {
 		t.Fatalf("primary min levels = %v, want [2]", ls)
 	}
 	s.levels = map[*constraint.Node]int{prim: 3}
-	if ls := s.feasibleLevels(prim); len(ls) != 1 || ls[0] != 3 {
+	if ls := s.feasibleLevels(prim, nil); len(ls) != 1 || ls[0] != 3 {
 		t.Fatalf("primary vector levels = %v, want [3]", ls)
 	}
 	// cat-3 node 0011000 under father 0111000 placed at level 2: levels
@@ -168,7 +168,7 @@ func TestFeasibleLevels(t *testing.T) {
 	if c3.Cat() != constraint.Cat3 {
 		t.Fatalf("0011000 category = %d", c3.Cat())
 	}
-	if ls := s.feasibleLevels(c3); len(ls) != 1 || ls[0] != 1 {
+	if ls := s.feasibleLevels(c3, nil); len(ls) != 1 || ls[0] != 1 {
 		t.Fatalf("cat3 levels = %v, want [1]", ls)
 	}
 }

@@ -43,6 +43,20 @@ type Options struct {
 // with on-set cover on and don't-care cover dc (dc may be nil or empty).
 // The input covers are not modified.
 func Minimize(on, dc *cube.Cover, opt Options) *cube.Cover {
+	// One scratch arena serves the whole call: every pass recycles cofactor
+	// buffers through it and shares its tautology memo across iterations.
+	// The backing pool is keyed by structure layout, so repeated calls over
+	// equal layouts (the per-candidate evaluation loop) reuse the same
+	// buffers and memo without any coordination by the caller.
+	a := cube.GetArena(on.S)
+	defer cube.PutArena(a)
+	return MinimizeWith(on, dc, opt, a)
+}
+
+// MinimizeWith is Minimize with caller-provided scratch, for callers that
+// run many minimizations over one layout and want to hold a single arena
+// (and its tautology memo) across the whole batch.
+func MinimizeWith(on, dc *cube.Cover, opt Options, a *cube.Arena) *cube.Cover {
 	if opt.MaxIterations <= 0 {
 		opt.MaxIterations = 16
 	}
@@ -56,10 +70,10 @@ func Minimize(on, dc *cube.Cover, opt Options) *cube.Cover {
 		return f // the containment-reduced on-set is itself a valid cover
 	}
 
-	Expand(f, dc)
-	Irredundant(f, dc)
+	expandWith(f, dc, a)
+	irredundantWith(f, dc, a)
 	if opt.SkipReduce {
-		finish(f, dc, opt)
+		finishWith(f, dc, opt, a)
 		return f
 	}
 	best := f.Copy()
@@ -67,20 +81,20 @@ func Minimize(on, dc *cube.Cover, opt Options) *cube.Cover {
 		if canceled(opt.Ctx) {
 			break // best is a valid minimized cover at this point
 		}
-		Reduce(f, dc)
-		Expand(f, dc)
-		Irredundant(f, dc)
+		reduceWith(f, dc, a)
+		expandWith(f, dc, a)
+		irredundantWith(f, dc, a)
 		if cost(f) < cost(best) {
 			best = f.Copy()
 			continue
 		}
-		if opt.LastGasp && LastGasp(best, dc) {
+		if opt.LastGasp && lastGaspWith(best, dc, a) {
 			f = best.Copy()
 			continue
 		}
 		break
 	}
-	finish(best, dc, opt)
+	finishWith(best, dc, opt, a)
 	return best
 }
 
@@ -89,9 +103,9 @@ func canceled(ctx context.Context) bool {
 	return ctx != nil && ctx.Err() != nil
 }
 
-func finish(f, dc *cube.Cover, opt Options) {
+func finishWith(f, dc *cube.Cover, opt Options, a *cube.Arena) {
 	if opt.MakeSparse {
-		MakeSparse(f, dc)
+		makeSparseWith(f, dc, a)
 	}
 }
 
@@ -121,17 +135,29 @@ func dropEmpty(f *cube.Cover) {
 // of on∪dc, checked by tautology of the cofactor. Cubes made redundant by
 // the expansion of earlier cubes are removed.
 func Expand(f, dc *cube.Cover) {
+	a := cube.GetArena(f.S)
+	expandWith(f, dc, a)
+	cube.PutArena(a)
+}
+
+func expandWith(f, dc *cube.Cover, a *cube.Arena) {
 	s := f.S
 	// Snapshot the function: expansion is validated against the original
-	// on∪dc, which must not alias the cubes being mutated.
-	all := f.Copy().Append(dc)
+	// on∪dc, which must not alias the cubes being mutated. The snapshot
+	// copies come from the arena and are recycled on exit.
+	all := a.NewCover()
+	for _, c := range f.Cubes {
+		all.Cubes = append(all.Cubes, a.CopyCube(c))
+	}
+	nOwn := len(all.Cubes)
+	all.Cubes = append(all.Cubes, dc.Cubes...)
 	// Process larger cubes first: they are more likely to swallow others.
 	order := make([]int, len(f.Cubes))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return f.Cubes[order[a]].PopCount() > f.Cubes[order[b]].PopCount()
+	sort.SliceStable(order, func(x, y int) bool {
+		return f.Cubes[order[x]].PopCount() > f.Cubes[order[y]].PopCount()
 	})
 
 	// Column weights: how often each part is set across the cover. Raising
@@ -149,12 +175,13 @@ func Expand(f, dc *cube.Cover) {
 	}
 
 	covered := make([]bool, len(f.Cubes))
+	var scratch []raiseCand
 	for _, i := range order {
 		if covered[i] {
 			continue
 		}
 		c := f.Cubes[i]
-		expandCube(s, c, all, weights)
+		scratch = expandCubeWith(s, c, all, weights, a, scratch)
 		// Single-cube containment against the expanded cube.
 		for _, j := range order {
 			if j == i || covered[j] {
@@ -172,54 +199,70 @@ func Expand(f, dc *cube.Cover) {
 		}
 	}
 	f.Cubes = kept
+	for _, c := range all.Cubes[:nOwn] {
+		a.FreeCube(c)
+	}
+	a.FreeCover(all)
 }
 
-// expandCube raises the lowered parts of c in place, highest weight first,
-// keeping each raise for which c remains an implicant of all.
-func expandCube(s *cube.Structure, c cube.Cube, all *cube.Cover, weights []int) {
-	type cand struct{ v, p, w int }
-	var cands []cand
+// raiseCand is one candidate part raise considered by EXPAND.
+type raiseCand struct{ v, p, w int }
+
+// expandCubeWith raises the lowered parts of c in place, highest weight
+// first, keeping each raise for which c remains an implicant of all. The
+// scratch slice is reused across calls and returned for the next one.
+func expandCubeWith(s *cube.Structure, c cube.Cube, all *cube.Cover, weights []int, a *cube.Arena, scratch []raiseCand) []raiseCand {
+	cands := scratch[:0]
 	for v := 0; v < s.NumVars(); v++ {
 		off := s.Offset(v)
 		for p := 0; p < s.Size(v); p++ {
 			if !s.Test(c, v, p) {
-				cands = append(cands, cand{v, p, weights[off+p]})
+				cands = append(cands, raiseCand{v, p, weights[off+p]})
 			}
 		}
 	}
-	sort.SliceStable(cands, func(a, b int) bool { return cands[a].w > cands[b].w })
+	sort.SliceStable(cands, func(x, y int) bool { return cands[x].w > cands[y].w })
 	for _, cd := range cands {
 		s.Set(c, cd.v, cd.p)
-		if !all.CoversCube(c) {
+		if !all.ContainsCube(c) && !all.CoversCubeWith(a, c) {
 			s.Clear(c, cd.v, cd.p)
 		}
 	}
+	return cands
 }
 
 // Irredundant removes redundant cubes: cubes covered by the union of the
 // remaining cubes and the don't-care set. Cubes are examined smallest
 // first so large cubes (likely relatively essential) are retained.
 func Irredundant(f, dc *cube.Cover) {
+	a := cube.GetArena(f.S)
+	irredundantWith(f, dc, a)
+	cube.PutArena(a)
+}
+
+func irredundantWith(f, dc *cube.Cover, a *cube.Arena) {
 	order := make([]int, len(f.Cubes))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return f.Cubes[order[a]].PopCount() < f.Cubes[order[b]].PopCount()
+	sort.SliceStable(order, func(x, y int) bool {
+		return f.Cubes[order[x]].PopCount() < f.Cubes[order[y]].PopCount()
 	})
 	removed := make([]bool, len(f.Cubes))
+	rest := a.NewCover()
 	for _, i := range order {
-		rest := cube.NewCover(f.S)
+		rest.Cubes = rest.Cubes[:0]
 		for j, c := range f.Cubes {
 			if j != i && !removed[j] {
-				rest.Add(c)
+				rest.Cubes = append(rest.Cubes, c)
 			}
 		}
-		rest = rest.Append(dc)
-		if rest.CoversCube(f.Cubes[i]) {
+		rest.Cubes = append(rest.Cubes, dc.Cubes...)
+		if rest.CoversCubeWith(a, f.Cubes[i]) {
 			removed[i] = true
 		}
 	}
+	a.FreeCover(rest)
 	var kept []cube.Cube
 	for i, c := range f.Cubes {
 		if !removed[i] {
@@ -234,18 +277,29 @@ func Irredundant(f, dc *cube.Cover) {
 // when the minterms it alone contributes are covered by the rest of the
 // cover plus the don't-care set. Reduction unblocks the next EXPAND.
 func Reduce(f, dc *cube.Cover) {
+	a := cube.GetArena(f.S)
+	reduceWith(f, dc, a)
+	cube.PutArena(a)
+}
+
+func reduceWith(f, dc *cube.Cover, a *cube.Arena) {
 	s := f.S
 	// Reduce larger cubes first (mirrors espresso's ordering heuristic).
 	order := make([]int, len(f.Cubes))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return f.Cubes[order[a]].PopCount() > f.Cubes[order[b]].PopCount()
+	sort.SliceStable(order, func(x, y int) bool {
+		return f.Cubes[order[x]].PopCount() > f.Cubes[order[y]].PopCount()
 	})
+	rest := a.NewCover()
+	slice := a.NewCube()
 	for _, i := range order {
 		c := f.Cubes[i]
-		rest := f.Without(i).Append(dc)
+		rest.Cubes = rest.Cubes[:0]
+		rest.Cubes = append(rest.Cubes, f.Cubes[:i]...)
+		rest.Cubes = append(rest.Cubes, f.Cubes[i+1:]...)
+		rest.Cubes = append(rest.Cubes, dc.Cubes...)
 		for v := 0; v < s.NumVars(); v++ {
 			if s.VarCount(c, v) < 2 {
 				continue
@@ -259,22 +313,26 @@ func Reduce(f, dc *cube.Cover) {
 				}
 				// Slice of c with variable v pinned to part p: the minterms
 				// lost if the part is lowered.
-				slice := c.Copy()
+				copy(slice, c)
 				s.ClearAll(slice, v)
 				s.Set(slice, v, p)
-				if rest.CoversCube(slice) {
+				if rest.CoversCubeWith(a, slice) {
 					s.Clear(c, v, p)
 				}
 			}
 		}
 	}
+	a.FreeCube(slice)
+	a.FreeCover(rest)
 }
 
 // MakePrime expands a single cube to a prime-like implicant of on∪dc.
 func MakePrime(s *cube.Structure, c cube.Cube, on, dc *cube.Cover) {
 	all := on.Copy().Append(dc)
 	weights := make([]int, s.Bits())
-	expandCube(s, c, all, weights)
+	a := cube.GetArena(s)
+	expandCubeWith(s, c, all, weights, a, nil)
+	cube.PutArena(a)
 }
 
 // Verify reports whether cover f is a correct implementation of the

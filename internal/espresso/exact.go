@@ -31,29 +31,34 @@ func Primes(on, dc *cube.Cover, opt ExactOptions) *cube.Cover {
 	set := on.Copy().Append(dc).Copy()
 	set.SingleCubeContainment()
 	// Iterated consensus: add consensus cubes until closure; keep only
-	// maximal cubes.
+	// maximal cubes. The consensus is taken with respect to every variable
+	// — for multiple-valued variables, two intersecting cubes can have a
+	// consensus strictly larger than either (union of their fields), which
+	// restricting to the distance-one conflict variable would miss.
 	changed := true
 	for changed {
 		changed = false
 		n := len(set.Cubes)
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				c := s.Consensus(set.Cubes[i], set.Cubes[j])
-				if c == nil {
-					continue
-				}
-				dominated := false
-				for _, q := range set.Cubes {
-					if cube.Contains(q, c) {
-						dominated = true
-						break
+				for v := 0; v < s.NumVars(); v++ {
+					c := s.ConsensusOn(set.Cubes[i], set.Cubes[j], v)
+					if c == nil {
+						continue
 					}
-				}
-				if !dominated {
-					set.Add(c)
-					changed = true
-					if len(set.Cubes) > opt.MaxPrimes {
-						return nil
+					dominated := false
+					for _, q := range set.Cubes {
+						if cube.Contains(q, c) {
+							dominated = true
+							break
+						}
+					}
+					if !dominated {
+						set.Add(c)
+						changed = true
+						if len(set.Cubes) > opt.MaxPrimes {
+							return nil
+						}
 					}
 				}
 			}

@@ -10,8 +10,9 @@ import (
 // maxReduce returns the maximally reduced version of cube c against the
 // cover rest ∪ dc: parts are lowered greedily to fixpoint, keeping c an
 // element whose private minterms stay covered. c is not modified.
-func maxReduce(s *cube.Structure, c cube.Cube, rest *cube.Cover) cube.Cube {
+func maxReduce(s *cube.Structure, c cube.Cube, rest *cube.Cover, a *cube.Arena) cube.Cube {
 	r := c.Copy()
+	slice := a.NewCube()
 	changed := true
 	for changed {
 		changed = false
@@ -23,16 +24,17 @@ func maxReduce(s *cube.Structure, c cube.Cube, rest *cube.Cover) cube.Cube {
 				if !s.Test(r, v, p) || s.VarCount(r, v) < 2 {
 					continue
 				}
-				slice := r.Copy()
+				copy(slice, r)
 				s.ClearAll(slice, v)
 				s.Set(slice, v, p)
-				if rest.CoversCube(slice) {
+				if rest.CoversCubeWith(a, slice) {
 					s.Clear(r, v, p)
 					changed = true
 				}
 			}
 		}
 	}
+	a.FreeCube(slice)
 	return r
 }
 
@@ -42,17 +44,31 @@ func maxReduce(s *cube.Structure, c cube.Cube, rest *cube.Cover) cube.Cube {
 // and irredundancy is restored. It reports whether the cover cardinality
 // decreased; f is modified in place only when it does.
 func LastGasp(f, dc *cube.Cover) bool {
+	a := cube.GetArena(f.S)
+	ok := lastGaspWith(f, dc, a)
+	cube.PutArena(a)
+	return ok
+}
+
+func lastGaspWith(f, dc *cube.Cover, a *cube.Arena) bool {
 	s := f.S
 	if len(f.Cubes) < 2 {
 		return false
 	}
 	all := f.Copy().Append(dc)
 	reduced := make([]cube.Cube, len(f.Cubes))
+	rest := a.NewCover()
 	for i, c := range f.Cubes {
-		rest := f.Without(i).Append(dc)
-		reduced[i] = maxReduce(s, c, rest)
+		rest.Cubes = rest.Cubes[:0]
+		rest.Cubes = append(rest.Cubes, f.Cubes[:i]...)
+		rest.Cubes = append(rest.Cubes, f.Cubes[i+1:]...)
+		rest.Cubes = append(rest.Cubes, dc.Cubes...)
+		reduced[i] = maxReduce(s, c, rest, a)
 	}
+	a.FreeCover(rest)
 	var candidates []cube.Cube
+	weights := make([]int, s.Bits())
+	var scratch []raiseCand
 	for i := 0; i < len(reduced); i++ {
 		for j := i + 1; j < len(reduced); j++ {
 			m := s.NewCube()
@@ -60,8 +76,8 @@ func LastGasp(f, dc *cube.Cover) bool {
 			if m.Equal(reduced[i]) || m.Equal(reduced[j]) {
 				continue
 			}
-			if all.CoversCube(m) {
-				expandCube(s, m, all, make([]int, s.Bits()))
+			if all.CoversCubeWith(a, m) {
+				scratch = expandCubeWith(s, m, all, weights, a, scratch)
 				candidates = append(candidates, m)
 			}
 		}
@@ -72,7 +88,7 @@ func LastGasp(f, dc *cube.Cover) bool {
 	trial := f.Copy()
 	trial.Cubes = append(trial.Cubes, candidates...)
 	trial.SingleCubeContainment()
-	Irredundant(trial, dc)
+	irredundantWith(trial, dc, a)
 	if trial.Len() < f.Len() {
 		f.Cubes = trial.Cubes
 		return true
@@ -89,10 +105,21 @@ func LastGasp(f, dc *cube.Cover) bool {
 // part is, per this package's convention, the last variable and is always
 // processed.
 func MakeSparse(f, dc *cube.Cover) {
+	a := cube.GetArena(f.S)
+	makeSparseWith(f, dc, a)
+	cube.PutArena(a)
+}
+
+func makeSparseWith(f, dc *cube.Cover, a *cube.Arena) {
 	s := f.S
 	outVar := s.NumVars() - 1
+	rest := a.NewCover()
+	slice := a.NewCube()
 	for i, c := range f.Cubes {
-		rest := f.Without(i).Append(dc)
+		rest.Cubes = rest.Cubes[:0]
+		rest.Cubes = append(rest.Cubes, f.Cubes[:i]...)
+		rest.Cubes = append(rest.Cubes, f.Cubes[i+1:]...)
+		rest.Cubes = append(rest.Cubes, dc.Cubes...)
 		for v := 0; v < s.NumVars(); v++ {
 			if v != outVar && s.Size(v) == 2 {
 				continue // binary inputs stay expanded
@@ -104,14 +131,16 @@ func MakeSparse(f, dc *cube.Cover) {
 				if !s.Test(c, v, p) || (v != outVar && s.VarCount(c, v) < 2) {
 					continue
 				}
-				slice := c.Copy()
+				copy(slice, c)
 				s.ClearAll(slice, v)
 				s.Set(slice, v, p)
-				if rest.CoversCube(slice) {
+				if rest.CoversCubeWith(a, slice) {
 					s.Clear(c, v, p)
 				}
 			}
 		}
 	}
+	a.FreeCube(slice)
+	a.FreeCover(rest)
 	dropEmpty(f)
 }

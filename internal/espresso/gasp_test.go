@@ -15,7 +15,9 @@ func TestMaxReduce(t *testing.T) {
 	a := parse(s, "01", "11", "1")
 	rest := cube.NewCover(s)
 	rest.Add(parse(s, "11", "10", "1"))
-	r := maxReduce(s, a, rest)
+	ar := cube.GetArena(s)
+	r := maxReduce(s, a, rest, ar)
+	cube.PutArena(ar)
 	if s.Test(r, 0, 0) || !s.Test(r, 0, 1) {
 		t.Fatalf("variable a changed: %s", s.String(r))
 	}

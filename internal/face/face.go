@@ -90,21 +90,20 @@ func (f Face) HasVertex(v uint64) bool {
 }
 
 // Vertices calls fn for every vertex of the face in increasing numeric
-// order of the free-coordinate pattern.
+// order of the free-coordinate pattern. The free positions are walked
+// via bit tricks (lowest set bit of X first), so no scratch slice is
+// needed — this runs inside the encoder's backtracking inner loop.
 func (f Face) Vertices(fn func(uint64)) {
-	var free []uint
-	for i := 0; i < f.K; i++ {
-		if f.X&(1<<uint(i)) != 0 {
-			free = append(free, uint(i))
-		}
-	}
-	n := 1 << uint(len(free))
+	n := 1 << uint(bits.OnesCount64(f.X))
 	for p := 0; p < n; p++ {
 		v := f.Val
-		for j, pos := range free {
-			if p&(1<<uint(j)) != 0 {
-				v |= 1 << pos
+		x := f.X
+		for pp := p; x != 0; pp >>= 1 {
+			low := x & -x
+			if pp&1 != 0 {
+				v |= low
 			}
+			x &^= low
 		}
 		fn(v)
 	}

@@ -137,7 +137,9 @@ func Build(f *kiss.FSM) (*Problem, error) {
 		}
 		rowIn.Add(trim)
 	}
-	comp := rowIn.Complement()
+	arena := cube.GetArena(inS)
+	comp := rowIn.ComplementWith(arena)
+	cube.PutArena(arena)
 	for _, c := range comp.Cubes {
 		d := s.NewCube()
 		for v := 0; v < inS.NumVars(); v++ {

@@ -135,6 +135,10 @@ func OutputCovering(f *kiss.FSM, which int, opt Options) ([]Edge, error) {
 		return r
 	}
 
+	// One arena spans every per-value minimization over the reduced layout.
+	arena := cube.GetArena(rs)
+	defer cube.PutArena(arena)
+
 	var graph []Edge
 	for _, i := range order {
 		on := cube.NewCover(rs)
@@ -173,7 +177,7 @@ func OutputCovering(f *kiss.FSM, which int, opt Options) ([]Edge, error) {
 				dc.Add(r)
 			}
 		}
-		mb := espresso.Minimize(on, dc, opt.Min)
+		mb := espresso.MinimizeWith(on, dc, opt.Min, arena)
 		var mi []cube.Cube
 		for _, r := range mb.Cubes {
 			if rs.Test(r, p.OutVar, 0) {

@@ -190,6 +190,12 @@ func Analyze(f *kiss.FSM, opt Options) (*Output, error) {
 		P.Add(q.Copy())
 	}
 
+	// All per-state minimizations run over the same reduced layout: hold
+	// one scratch arena across the loop so cofactor buffers and the
+	// tautology memo are shared between stages.
+	arena := cube.GetArena(rs)
+	defer cube.PutArena(arena)
+
 	for _, i := range order {
 		on := cube.NewCover(rs)
 		for _, q := range onSets[i] {
@@ -229,7 +235,7 @@ func Analyze(f *kiss.FSM, opt Options) (*Output, error) {
 				dc.Add(r)
 			}
 		}
-		mb := espresso.Minimize(on, dc, opt.Min)
+		mb := espresso.MinimizeWith(on, dc, opt.Min, arena)
 		var mi []cube.Cube
 		for _, r := range mb.Cubes {
 			if rs.Test(r, p.OutVar, 0) {
