@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"nova/internal/obs"
 	"nova/internal/sched"
 )
 
@@ -19,6 +20,12 @@ import (
 // random trials and candidate joins are independent of scheduling, so a
 // batch produces the same Results as encoding the machines one at a
 // time. Nil entries in fsms are rejected.
+//
+// With Options.Tracer set, the whole batch records under one
+// "nova.batch" root span with a per-machine "nova.encode" child each,
+// and every Result carries the shared batch snapshot in Result.Telemetry
+// (per-machine attribution comes from the span attributes; use one
+// tracer per EncodeContext call for fully separate snapshots).
 func EncodeAll(ctx context.Context, fsms []*FSM, opt Options) ([]*Result, error) {
 	for i, f := range fsms {
 		if f == nil {
@@ -27,10 +34,22 @@ func EncodeAll(ctx context.Context, fsms []*FSM, opt Options) ([]*Result, error)
 	}
 	pool := sched.New(opt.workers())
 	results := make([]*Result, len(fsms))
-	g := pool.Group(ctx)
+	t := opt.Tracer
+	ctx = obs.With(ctx, t) // no-op when t is nil
+	bctx, bsp := obs.Span(ctx, "nova.batch")
+	bsp.SetInt("machines", int64(len(fsms)))
+	g := pool.Group(bctx)
 	for i, f := range fsms {
 		g.Go(func(ctx context.Context) error {
-			r, err := encodeWith(ctx, pool, f, opt)
+			sctx, sp := obs.Span(ctx, "nova.encode")
+			sp.SetStr("machine", f.Name)
+			defer sp.End()
+			r, err := encodeWith(sctx, pool, f, opt)
+			if t != nil {
+				outcome := outcomeOf(err)
+				sp.SetStr("outcome", outcome)
+				t.Metrics().Add("algo."+outcome+"."+string(r2alg(opt)), 1)
+			}
 			if err != nil {
 				if f.Name != "" {
 					return fmt.Errorf("%s: %w", f.Name, err)
@@ -41,8 +60,27 @@ func EncodeAll(ctx context.Context, fsms []*FSM, opt Options) ([]*Result, error)
 			return nil
 		})
 	}
-	if err := g.Wait(); err != nil {
+	err := g.Wait()
+	bsp.End()
+	if t != nil {
+		flushPoolStats(t.Metrics(), pool)
+	}
+	if err != nil {
 		return nil, err
 	}
+	if t != nil {
+		snap := t.Snapshot()
+		for _, r := range results {
+			r.Telemetry = snap
+		}
+	}
 	return results, nil
+}
+
+// r2alg resolves the effective algorithm of an Options value.
+func r2alg(opt Options) Algorithm {
+	if opt.Algorithm == "" {
+		return Best
+	}
+	return opt.Algorithm
 }

@@ -4,18 +4,27 @@
 // Usage:
 //
 //	novabench [-table N] [-only name,name] [-skip-huge] [-fast] [-seed S]
+//	          [-phase-table] [-trace out.json] [-cpuprofile f] [-memprofile f]
 //
 // With no -table flag every experiment runs in order. Table numbers follow
 // the paper: 1-7 are Tables I-VII, 8-10 are the plot series the paper
 // prints as Tables VIII-X.
+//
+// -phase-table prints a per-machine breakdown of where the wall time went
+// (espresso / search / symbolic / mvmin) after the tables, -trace streams
+// every pipeline phase as JSON lines, and -cpuprofile/-memprofile write
+// runtime/pprof profiles of the whole sweep.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,6 +33,10 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	table := flag.Int("table", 0, "table/figure to regenerate (1..10, 0 = all)")
 	only := flag.String("only", "", "comma-separated benchmark names to restrict to")
 	skipHuge := flag.Bool("skip-huge", false, "skip the time-intensive machines (scf, tbk)")
@@ -32,6 +45,10 @@ func main() {
 	par := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 	exactBudget := flag.Int("exact-budget", 1_500_000, "iexact work budget per machine (0 = library default)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	phaseTable := flag.Bool("phase-table", false, "print a per-machine phase time breakdown after the tables")
+	tracePath := flag.String("trace", "", "write a JSON-lines phase trace to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	flag.Parse()
 
 	// ^C (or the -timeout deadline) cancels in-flight encodes promptly:
@@ -44,6 +61,35 @@ func main() {
 		defer cancel()
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "novabench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "novabench:", err)
+			}
+		}()
+	}
+
 	opts := experiments.RunOpts{
 		Ctx:          ctx,
 		SkipHuge:     *skipHuge,
@@ -51,11 +97,40 @@ func main() {
 		FastMinimize: *fast,
 		Parallel:     *par,
 		ExactBudget:  *exactBudget,
+		Observe:      *phaseTable,
 	}
 	if *only != "" {
 		opts.Only = strings.Split(*only, ",")
 	}
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fail(err)
+		}
+		traceFile, traceBuf = f, bufio.NewWriter(f)
+		opts.TraceWriter = traceBuf
+	}
 	r := experiments.NewRunner(opts)
+
+	// The phase table and the trace flush are deferred so that an
+	// interrupted sweep still reports whatever it measured. Order
+	// matters: the telemetry snapshot (inside PhaseTable) is taken
+	// first, then the partial results are flushed — the trace file
+	// always ends as valid, complete JSON lines.
+	defer func() {
+		if *phaseTable {
+			if rows := r.PhaseTable(); len(rows) > 0 {
+				fmt.Println("PHASE TABLE — self time per pipeline stage")
+				fmt.Println(experiments.FormatPhaseTable(rows))
+			}
+		}
+		if traceBuf != nil {
+			traceBuf.Flush()
+			traceFile.Close()
+		}
+	}()
 
 	// Fill the result cache through the concurrent batch API: the tables
 	// below then mostly read memoized results. iexact is left to the
@@ -64,8 +139,7 @@ func main() {
 	if *table != 1 {
 		prewarm := []nova.Algorithm{nova.IHybrid, nova.IGreedy, nova.IOHybrid, nova.KISS, nova.Random}
 		if err := r.Prewarm(ctx, prewarm...); err != nil {
-			fmt.Fprintln(os.Stderr, "novabench: prewarm:", err)
-			os.Exit(1)
+			return fail(fmt.Errorf("prewarm: %w", err))
 		}
 	}
 
@@ -125,15 +199,19 @@ func main() {
 
 	if *table != 0 {
 		if err := run(*table); err != nil {
-			fmt.Fprintln(os.Stderr, "novabench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	for n := 1; n <= 10; n++ {
 		if err := run(n); err != nil {
-			fmt.Fprintln(os.Stderr, "novabench:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "novabench:", err)
+	return 1
 }

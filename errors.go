@@ -29,3 +29,6 @@ var (
 func canceledErr(cause error) error {
 	return errors.Join(ErrCanceled, cause)
 }
+
+func isGaveUp(err error) bool   { return errors.Is(err, ErrGaveUp) }
+func isCanceled(err error) bool { return errors.Is(err, ErrCanceled) }

@@ -25,7 +25,43 @@ type Arena struct {
 	memo    map[string]bool
 	memoIdx []int
 	memoBuf []byte
+
+	// stat accumulates hot-loop telemetry in plain ints — the arena is
+	// single-owner, so no atomics are needed here. Callers that trace
+	// snapshot Stats() before and after a phase and flush the delta into
+	// an obs.Metrics; untraced runs pay only the increments.
+	stat   ArenaStats
+	reused bool // true when GetArena served this arena from the pool
 }
+
+// ArenaStats counts arena and tautology-memo activity. Values are
+// cumulative over the arena's lifetime (across pool reuses); use Sub to
+// form per-phase deltas.
+type ArenaStats struct {
+	TautCalls       int64 // tautology / covering queries answered
+	TautMemoLookups int64 // memo probes (covers >= memoMinCubes)
+	TautMemoHits    int64
+	CubesAlloc      int64 // NewCube calls that hit make()
+	CubesReused     int64 // NewCube calls served from the free list
+}
+
+// Sub returns s - o, the activity between two snapshots.
+func (s ArenaStats) Sub(o ArenaStats) ArenaStats {
+	return ArenaStats{
+		TautCalls:       s.TautCalls - o.TautCalls,
+		TautMemoLookups: s.TautMemoLookups - o.TautMemoLookups,
+		TautMemoHits:    s.TautMemoHits - o.TautMemoHits,
+		CubesAlloc:      s.CubesAlloc - o.CubesAlloc,
+		CubesReused:     s.CubesReused - o.CubesReused,
+	}
+}
+
+// Stats returns the arena's cumulative activity counters.
+func (a *Arena) Stats() ArenaStats { return a.stat }
+
+// Reused reports whether this arena came out of the pool warm (with its
+// free lists and memo from a previous owner) rather than freshly built.
+func (a *Arena) Reused() bool { return a.reused }
 
 // memoMinCubes is the smallest cover worth memoizing: below this the
 // recursion is cheaper than the key construction.
@@ -44,6 +80,7 @@ func GetArena(s *Structure) *Arena {
 	if v := s.pool.Get(); v != nil {
 		a := v.(*Arena)
 		a.s = s // equal layout: masks and widths are interchangeable
+		a.reused = true
 		return a
 	}
 	return NewArena(s)
@@ -68,8 +105,10 @@ func (a *Arena) NewCube() Cube {
 		for i := range c {
 			c[i] = 0
 		}
+		a.stat.CubesReused++
 		return c
 	}
+	a.stat.CubesAlloc++
 	return make(Cube, a.s.nwords)
 }
 

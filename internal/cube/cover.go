@@ -172,6 +172,7 @@ func (f *Cover) Tautology() bool {
 // allocates cofactor covers from the arena and recycles them per node, and
 // consults the arena's memo cache for covers of at least memoMinCubes cubes.
 func (f *Cover) TautologyWith(a *Arena) bool {
+	a.stat.TautCalls++
 	if len(f.Cubes) == 0 {
 		return false
 	}
@@ -213,8 +214,10 @@ func (f *Cover) TautologyWith(a *Arena) bool {
 	useMemo := len(f.Cubes) >= memoMinCubes
 	var key string
 	if useMemo {
+		a.stat.TautMemoLookups++
 		key = a.coverKey(f)
 		if verdict, ok := a.memoGet(key); ok {
+			a.stat.TautMemoHits++
 			return verdict
 		}
 	}

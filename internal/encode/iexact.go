@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"nova/internal/constraint"
+	"nova/internal/obs"
 )
 
 // ExactOptions tunes iexact_code.
@@ -41,7 +42,17 @@ type ExactOptions struct {
 // budget, the constructive encoding is returned with Proven=false — the
 // counterpart of the paper's "**: not minimal" entries. GaveUp is reserved
 // for instances with no encoding at all within the 64-bit code limit.
-func IExact(n int, ics []constraint.Constraint, opt ExactOptions) Result {
+func IExact(n int, ics []constraint.Constraint, opt ExactOptions) (res Result) {
+	sctx, sp := obs.Span(opt.Ctx, "search.iexact")
+	opt.Ctx = sctx
+	m := obs.MetricsFrom(opt.Ctx)
+	defer func() {
+		if sp != nil {
+			sp.SetInt("work", int64(res.Work))
+			sp.SetInt("bits", int64(res.Enc.Bits))
+		}
+		sp.End()
+	}()
 	ics = constraint.Normalize(ics)
 	if opt.MaxWork <= 0 {
 		opt.MaxWork = 5_000_000
@@ -75,7 +86,6 @@ func IExact(n int, ics []constraint.Constraint, opt ExactOptions) Result {
 	}
 	totalWork := 0
 	anyBudget := false
-	var res Result
 	for k := mincube; k <= opt.MaxK; k++ {
 		kWork := 0
 		// Primary constraints: category-1 non-singletons get a level from
@@ -137,6 +147,7 @@ func IExact(n int, ics []constraint.Constraint, opt ExactOptions) Result {
 					s.levels[nd] = dimvect[i]
 				}
 				ok := s.solve(nil)
+				s.flushMetrics(m)
 				kWork += s.work
 				totalWork += s.work
 				if ok {

@@ -7,6 +7,7 @@ import (
 
 	"nova/internal/constraint"
 	"nova/internal/encoding"
+	"nova/internal/obs"
 )
 
 // HybridOptions tunes ihybrid_code / iohybrid_code.
@@ -35,13 +36,21 @@ func (o *HybridOptions) defaults() {
 // returns the found encoding and whether all the given constraints were
 // satisfied.
 func semiexact(ctx context.Context, n int, sic []constraint.Constraint, cubeDim, maxWork int, oc []OCEdge) (encoding.Encoding, bool, int) {
+	sctx, sp := obs.Span(ctx, "search.semiexact")
+	sp.SetInt("constraints", int64(len(sic)))
 	g := constraint.BuildGraph(n, sic)
 	s := newSearcher(g, cubeDim)
 	s.allLevels = false
 	s.maxWork = maxWork
 	s.oc = oc
-	s.ctx = ctx
-	if s.solve(nil) {
+	s.ctx = sctx
+	ok := s.solve(nil)
+	s.flushMetrics(obs.MetricsFrom(ctx))
+	if sp != nil {
+		sp.SetInt("work", int64(s.work))
+		sp.End()
+	}
+	if ok {
 		return s.extract(), true, s.work
 	}
 	return encoding.Encoding{}, false, s.work

@@ -14,6 +14,7 @@ import (
 	"nova/internal/constraint"
 	"nova/internal/encoding"
 	"nova/internal/face"
+	"nova/internal/obs"
 )
 
 // ErrBudget is returned when a search exceeds its work bound rather than
@@ -55,6 +56,12 @@ type searcher struct {
 	maxWork int // 0 = unbounded
 	work    int
 	budget  bool // set when the work bound fired
+
+	// Telemetry accumulated in plain ints (the searcher is single-owner);
+	// flushMetrics pushes the totals into a run's obs.Metrics, if any.
+	backtracks int // solution-path undos in solve
+	checksOK   int // checkFace probes that passed
+	checksFail int // checkFace probes that failed
 
 	// ctx, when non-nil, is polled every ctxCheckInterval work ticks;
 	// cancellation aborts the search like an exhausted budget, with
@@ -151,8 +158,19 @@ func (s *searcher) stopped() bool { return s.budget || s.canceled }
 
 // checkFace is verify's condition check without the work accounting (the
 // forward check probes many faces and must not burn budget or set the
-// budget flag).
+// budget flag). It tallies pass/fail so runs can report the
+// face-constraint satisfaction ratio.
 func (s *searcher) checkFace(nd *constraint.Node, f face.Face) bool {
+	ok := s.checkFaceConds(nd, f)
+	if ok {
+		s.checksOK++
+	} else {
+		s.checksFail++
+	}
+	return ok
+}
+
+func (s *searcher) checkFaceConds(nd *constraint.Node, f face.Face) bool {
 	if f.Cardinality() < nd.Set.Card() {
 		return false
 	}
@@ -619,12 +637,25 @@ func (s *searcher) solve(lic *constraint.Node) bool {
 			return false
 		}
 		s.undo(t)
+		s.backtracks++
 		if first {
 			return false // symmetry: other faces of this level are isomorphic
 		}
 		return !s.stopped()
 	})
 	return found
+}
+
+// flushMetrics adds the searcher's accumulated tallies to m (nil-safe).
+// Call once per search run, after solve returns.
+func (s *searcher) flushMetrics(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	m.SearchWork.Add(int64(s.work))
+	m.SearchBacktracks.Add(int64(s.backtracks))
+	m.SearchChecksOK.Add(int64(s.checksOK))
+	m.SearchChecksFail.Add(int64(s.checksFail))
 }
 
 // extract returns the encoding defined by the singleton faces: the code of

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"nova/internal/cube"
+	"nova/internal/obs"
 )
 
 // Options tunes the minimization loop.
@@ -50,6 +51,12 @@ func Minimize(on, dc *cube.Cover, opt Options) *cube.Cover {
 	// buffers and memo without any coordination by the caller.
 	a := cube.GetArena(on.S)
 	defer cube.PutArena(a)
+	if m := obs.MetricsFrom(opt.Ctx); m != nil {
+		m.ArenaGets.Add(1)
+		if a.Reused() {
+			m.ArenaReuses.Add(1)
+		}
+	}
 	return MinimizeWith(on, dc, opt, a)
 }
 
@@ -60,6 +67,17 @@ func MinimizeWith(on, dc *cube.Cover, opt Options, a *cube.Arena) *cube.Cover {
 	if opt.MaxIterations <= 0 {
 		opt.MaxIterations = 16
 	}
+	// Telemetry, all nil-safe: with no tracer in opt.Ctx, sctx == opt.Ctx,
+	// every span below is the no-op nil span, m is nil, and no extra
+	// allocation happens (guarded by the alloc tests at the repo root).
+	sctx, msp := obs.Span(opt.Ctx, "espresso.minimize")
+	m := obs.MetricsFrom(opt.Ctx)
+	var statBase cube.ArenaStats
+	if m != nil {
+		statBase = a.Stats()
+		msp.SetInt("cubes_in", int64(on.Len()))
+	}
+
 	f := on.Copy()
 	if dc == nil {
 		dc = cube.NewCover(on.S)
@@ -67,13 +85,15 @@ func MinimizeWith(on, dc *cube.Cover, opt Options, a *cube.Arena) *cube.Cover {
 	f.SingleCubeContainment()
 	dropEmpty(f)
 	if canceled(opt.Ctx) {
+		finishMinimize(msp, m, a, statBase, f)
 		return f // the containment-reduced on-set is itself a valid cover
 	}
 
-	expandWith(f, dc, a)
-	irredundantWith(f, dc, a)
+	expandPass(sctx, f, dc, a)
+	irredundantPass(sctx, f, dc, a)
 	if opt.SkipReduce {
-		finishWith(f, dc, opt, a)
+		finishWith(sctx, f, dc, opt, a)
+		finishMinimize(msp, m, a, statBase, f)
 		return f
 	}
 	best := f.Copy()
@@ -81,21 +101,74 @@ func MinimizeWith(on, dc *cube.Cover, opt Options, a *cube.Arena) *cube.Cover {
 		if canceled(opt.Ctx) {
 			break // best is a valid minimized cover at this point
 		}
-		reduceWith(f, dc, a)
-		expandWith(f, dc, a)
-		irredundantWith(f, dc, a)
+		if m != nil {
+			m.EspressoIters.Add(1)
+		}
+		reducePass(sctx, f, dc, a)
+		expandPass(sctx, f, dc, a)
+		irredundantPass(sctx, f, dc, a)
 		if cost(f) < cost(best) {
 			best = f.Copy()
 			continue
 		}
-		if opt.LastGasp && lastGaspWith(best, dc, a) {
+		if opt.LastGasp && lastGaspPass(sctx, best, dc, a) {
 			f = best.Copy()
 			continue
 		}
 		break
 	}
-	finishWith(best, dc, opt, a)
+	finishWith(sctx, best, dc, opt, a)
+	finishMinimize(msp, m, a, statBase, best)
 	return best
+}
+
+// finishMinimize closes the espresso.minimize span and flushes the
+// arena's counter deltas into the run metrics. No-op when untraced.
+func finishMinimize(msp *obs.ActiveSpan, m *obs.Metrics, a *cube.Arena, base cube.ArenaStats, f *cube.Cover) {
+	if m != nil {
+		msp.SetInt("cubes_out", int64(f.Len()))
+		d := a.Stats().Sub(base)
+		m.TautCalls.Add(d.TautCalls)
+		m.TautMemoLookups.Add(d.TautMemoLookups)
+		m.TautMemoHits.Add(d.TautMemoHits)
+		m.CubesAlloc.Add(d.CubesAlloc)
+		m.CubesReused.Add(d.CubesReused)
+	}
+	msp.End()
+}
+
+// The *Pass wrappers put a span (with cube counts in/out) around each
+// espresso pass. With no tracer in ctx they compile down to the plain
+// pass call: Span returns a nil span whose methods do nothing.
+func expandPass(ctx context.Context, f, dc *cube.Cover, a *cube.Arena) {
+	_, sp := obs.Span(ctx, "espresso.expand")
+	sp.SetInt("cubes_in", int64(f.Len()))
+	expandWith(f, dc, a)
+	sp.SetInt("cubes_out", int64(f.Len()))
+	sp.End()
+}
+
+func irredundantPass(ctx context.Context, f, dc *cube.Cover, a *cube.Arena) {
+	_, sp := obs.Span(ctx, "espresso.irredundant")
+	sp.SetInt("cubes_in", int64(f.Len()))
+	irredundantWith(f, dc, a)
+	sp.SetInt("cubes_out", int64(f.Len()))
+	sp.End()
+}
+
+func reducePass(ctx context.Context, f, dc *cube.Cover, a *cube.Arena) {
+	_, sp := obs.Span(ctx, "espresso.reduce")
+	sp.SetInt("cubes_in", int64(f.Len()))
+	reduceWith(f, dc, a)
+	sp.SetInt("cubes_out", int64(f.Len()))
+	sp.End()
+}
+
+func lastGaspPass(ctx context.Context, f, dc *cube.Cover, a *cube.Arena) bool {
+	_, sp := obs.Span(ctx, "espresso.lastgasp")
+	improved := lastGaspWith(f, dc, a)
+	sp.End()
+	return improved
 }
 
 // canceled reports whether the (possibly nil) context is done.
@@ -103,9 +176,11 @@ func canceled(ctx context.Context) bool {
 	return ctx != nil && ctx.Err() != nil
 }
 
-func finishWith(f, dc *cube.Cover, opt Options, a *cube.Arena) {
+func finishWith(ctx context.Context, f, dc *cube.Cover, opt Options, a *cube.Arena) {
 	if opt.MakeSparse {
+		_, sp := obs.Span(ctx, "espresso.makesparse")
 		makeSparseWith(f, dc, a)
+		sp.End()
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"nova/internal/kiss"
 	"nova/internal/mlopt"
 	"nova/internal/mvmin"
+	"nova/internal/obs"
 	"nova/internal/symbolic"
 )
 
@@ -46,6 +48,13 @@ type RunOpts struct {
 	ExactBudget int
 	// Parallel bounds worker goroutines (0 = GOMAXPROCS).
 	Parallel int
+	// Observe attaches a per-machine telemetry tracer to every encode, so
+	// PhaseTable can report the espresso/search/symbolic time breakdown.
+	Observe bool
+	// TraceWriter, when non-nil (implies observation), additionally
+	// streams every span of every machine as JSON lines, tagged with the
+	// machine name in the "trace" field.
+	TraceWriter io.Writer
 }
 
 func (o RunOpts) workers() int {
@@ -89,11 +98,42 @@ type Runner struct {
 	Opts RunOpts
 	mu   sync.Mutex
 	memo map[string]*nova.Result
+
+	// Per-machine tracers (observing runs only), plus the shared
+	// line-locked trace writer they stream to.
+	tracers map[string]*nova.Tracer
+	traceW  io.Writer
 }
 
 // NewRunner returns a caching harness runner.
 func NewRunner(opts RunOpts) *Runner {
-	return &Runner{Opts: opts, memo: map[string]*nova.Result{}}
+	r := &Runner{Opts: opts, memo: map[string]*nova.Result{}}
+	if opts.Observe || opts.TraceWriter != nil {
+		r.tracers = map[string]*nova.Tracer{}
+		if opts.TraceWriter != nil {
+			r.traceW = obs.LockedWriter(opts.TraceWriter)
+		}
+	}
+	return r
+}
+
+// observing reports whether this runner attaches tracers to its encodes.
+func (r *Runner) observing() bool { return r.tracers != nil }
+
+// tracerFor returns (creating on first use) the tracer of one machine.
+func (r *Runner) tracerFor(name string) *nova.Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.tracers[name]; ok {
+		return t
+	}
+	t := nova.NewTracer()
+	t.SetLabel(name)
+	if r.traceW != nil {
+		t.SetWriter(r.traceW)
+	}
+	r.tracers[name] = t
+	return t
 }
 
 func (o RunOpts) ctx() context.Context {
@@ -128,7 +168,11 @@ func (r *Runner) Run(f *kiss.FSM, alg nova.Algorithm, bits int) (*nova.Result, e
 		return res, nil
 	}
 	r.mu.Unlock()
-	res, err := nova.EncodeContext(r.Opts.ctx(), f, r.Opts.novaOptions(alg, bits))
+	opt := r.Opts.novaOptions(alg, bits)
+	if r.observing() {
+		opt.Tracer = r.tracerFor(f.Name)
+	}
+	res, err := nova.EncodeContext(r.Opts.ctx(), f, opt)
 	if err != nil && !errors.Is(err, nova.ErrGaveUp) {
 		return nil, err
 	}
@@ -144,6 +188,21 @@ func (r *Runner) Run(f *kiss.FSM, alg nova.Algorithm, bits int) (*nova.Result, e
 // give-up would abort a batch (iexact) should be left to Run.
 func (r *Runner) Prewarm(ctx context.Context, algs ...nova.Algorithm) error {
 	entries := r.Opts.entries()
+	if r.observing() {
+		// Per-machine tracers need per-machine EncodeContext calls: the
+		// batch API would record the whole sweep under one tracer and
+		// blur the attribution PhaseTable depends on. Fan out with the
+		// same worker bound instead.
+		for _, alg := range algs {
+			if _, err := forEach(entries, r.Opts.workers(), func(e bench.Entry) (struct{}, error) {
+				_, err := r.Run(e.F, alg, 0)
+				return struct{}{}, err
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	fsms := make([]*kiss.FSM, len(entries))
 	for i, e := range entries {
 		fsms[i] = e.F

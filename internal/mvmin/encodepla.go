@@ -7,6 +7,7 @@ import (
 	"nova/internal/encoding"
 	"nova/internal/espresso"
 	"nova/internal/kiss"
+	"nova/internal/obs"
 )
 
 // Encoded is the two-level Boolean representation of an FSM under a code
@@ -316,6 +317,9 @@ type Metrics struct {
 // Measure minimizes the encoded FSM and reports the paper's metrics. The
 // area model counts the encoded symbolic input bits among the PLA inputs.
 func Measure(f *kiss.FSM, asg encoding.Assignment, opt espresso.Options) (Metrics, error) {
+	sctx, sp := obs.Span(opt.Ctx, "mvmin.measure")
+	opt.Ctx = sctx
+	defer sp.End()
 	e, err := EncodePLA(f, asg)
 	if err != nil {
 		return Metrics{}, err

@@ -14,6 +14,7 @@ import (
 	"nova/internal/cube"
 	"nova/internal/espresso"
 	"nova/internal/kiss"
+	"nova/internal/obs"
 )
 
 // Problem is the multiple-valued representation of an FSM's combinational
@@ -192,7 +193,11 @@ func (p *Problem) rowInputCube(r kiss.Row) (cube.Cube, error) {
 // part, this is the output-disjoint minimization of KISS: product terms
 // merge exactly when they share next state and asserted outputs.
 func (p *Problem) Minimize(opt espresso.Options) *cube.Cover {
-	return espresso.Minimize(p.On, p.Dc, opt)
+	sctx, sp := obs.Span(opt.Ctx, "mvmin.minimize")
+	opt.Ctx = sctx
+	min := espresso.Minimize(p.On, p.Dc, opt)
+	sp.End()
+	return min
 }
 
 // Constraints extracts the weighted input constraints from a minimized

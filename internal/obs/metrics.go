@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the counter set of one tracer. The fixed fields cover the
+// hot counters that explain a NOVA run; they are lock-free atomics so
+// worker goroutines update them without contention. Rarer, dynamically
+// named tallies (per-algorithm outcomes, pool high-water marks) live in
+// the named map behind a mutex. Instrumentation in the single-owner hot
+// loops (arena, searcher) accumulates into plain ints and flushes deltas
+// here once per phase, so the atomics are off the innermost paths.
+type Metrics struct {
+	// espresso loop
+	EspressoIters atomic.Int64 // EXPAND/IRREDUNDANT/REDUCE round trips
+
+	// tautology memo (hit rate = hits / lookups)
+	TautCalls       atomic.Int64
+	TautMemoLookups atomic.Int64
+	TautMemoHits    atomic.Int64
+
+	// scratch arenas (reuse rate = reuses / gets)
+	ArenaGets   atomic.Int64
+	ArenaReuses atomic.Int64
+	CubesAlloc  atomic.Int64
+	CubesReused atomic.Int64
+
+	// encoding searcher (face-constraint satisfaction ratio =
+	// checks_ok / (checks_ok + checks_fail))
+	SearchWork       atomic.Int64
+	SearchBacktracks atomic.Int64
+	SearchChecksOK   atomic.Int64
+	SearchChecksFail atomic.Int64
+
+	// sched pool
+	PoolTasks  atomic.Int64 // tasks run on worker goroutines
+	PoolInline atomic.Int64 // tasks run inline (pool full)
+
+	mu    sync.Mutex
+	named map[string]int64
+	hists map[string]*Hist
+}
+
+// Add increments a named counter (e.g. "algo.gaveup.iexact_code").
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.named == nil {
+		m.named = make(map[string]int64)
+	}
+	m.named[name] += delta
+	m.mu.Unlock()
+}
+
+// Max raises the named counter to v if v is larger (gauge high-water
+// marks, e.g. "pool.max_depth").
+func (m *Metrics) Max(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.named == nil {
+		m.named = make(map[string]int64)
+	}
+	if v > m.named[name] {
+		m.named[name] = v
+	}
+	m.mu.Unlock()
+}
+
+// Observe records v into the named log2-bucketed histogram.
+func (m *Metrics) Observe(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.hists == nil {
+		m.hists = make(map[string]*Hist)
+	}
+	h := m.hists[name]
+	if h == nil {
+		h = &Hist{}
+		m.hists[name] = h
+	}
+	h.observe(v)
+	m.mu.Unlock()
+}
+
+// Hist is a power-of-two bucketed histogram: bucket i counts values v
+// with bits.Len64(v) == i, i.e. bucket 0 holds v==0, bucket i≥1 holds
+// 2^(i-1) <= v < 2^i. Good enough to see searcher work and backtrack
+// distributions without per-sample allocation.
+type Hist struct {
+	Buckets [65]int64
+	Count   int64
+	Sum     int64
+	MaxV    int64
+}
+
+func (h *Hist) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Buckets[bits.Len64(uint64(v))]++
+	h.Count++
+	h.Sum += v
+	if v > h.MaxV {
+		h.MaxV = v
+	}
+}
+
+// Counters returns every non-zero counter — fixed and named — keyed by
+// a stable dotted name. Safe to call while the run is in flight.
+func (m *Metrics) Counters() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int64)
+	put := func(name string, v int64) {
+		if v != 0 {
+			out[name] = v
+		}
+	}
+	put("espresso.iterations", m.EspressoIters.Load())
+	put("tautology.calls", m.TautCalls.Load())
+	put("tautology.memo_lookups", m.TautMemoLookups.Load())
+	put("tautology.memo_hits", m.TautMemoHits.Load())
+	put("arena.gets", m.ArenaGets.Load())
+	put("arena.reuses", m.ArenaReuses.Load())
+	put("arena.cubes_alloc", m.CubesAlloc.Load())
+	put("arena.cubes_reused", m.CubesReused.Load())
+	put("search.work", m.SearchWork.Load())
+	put("search.backtracks", m.SearchBacktracks.Load())
+	put("search.checks_ok", m.SearchChecksOK.Load())
+	put("search.checks_fail", m.SearchChecksFail.Load())
+	put("pool.tasks", m.PoolTasks.Load())
+	put("pool.inline", m.PoolInline.Load())
+	m.mu.Lock()
+	for k, v := range m.named {
+		put(k, v)
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// PhaseStat aggregates all spans sharing a name.
+type PhaseStat struct {
+	Name  string
+	Count int
+	Total time.Duration // sum of span durations (overlaps included)
+	Self  time.Duration // Total minus time in direct child spans
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot is a point-in-time summary of a tracer: total wall time,
+// every counter, and per-phase span aggregates. Attach it to results
+// (Result.Telemetry) after a run.
+type Snapshot struct {
+	Wall     time.Duration    // tracer lifetime at snapshot
+	Root     time.Duration    // sum of root (parentless) span durations
+	Counters map[string]int64 // from Metrics.Counters
+	Phases   []PhaseStat      // sorted by Self, descending
+	Hists    map[string]Hist  // histogram copies
+	Spans    int              // number of completed spans
+}
+
+// Snapshot summarizes the tracer now. The per-phase self time subtracts
+// the duration of *direct* children only, so nested phases (espresso
+// passes inside espresso.minimize inside nova.encode) are not double
+// counted in phase tables.
+func (t *Tracer) Snapshot() *Snapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]SpanRecord, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	s := &Snapshot{
+		Wall:     time.Since(t.start),
+		Counters: t.m.Counters(),
+		Spans:    len(spans),
+	}
+
+	childTime := make(map[uint64]time.Duration, len(spans))
+	for _, r := range spans {
+		if r.Parent != 0 {
+			childTime[r.Parent] += r.Dur
+		} else {
+			s.Root += r.Dur
+		}
+	}
+	agg := make(map[string]*PhaseStat)
+	for _, r := range spans {
+		p := agg[r.Name]
+		if p == nil {
+			p = &PhaseStat{Name: r.Name, Min: r.Dur, Max: r.Dur}
+			agg[r.Name] = p
+		}
+		p.Count++
+		p.Total += r.Dur
+		self := r.Dur - childTime[r.ID]
+		if self < 0 {
+			self = 0
+		}
+		p.Self += self
+		if r.Dur < p.Min {
+			p.Min = r.Dur
+		}
+		if r.Dur > p.Max {
+			p.Max = r.Dur
+		}
+	}
+	s.Phases = make([]PhaseStat, 0, len(agg))
+	for _, p := range agg {
+		s.Phases = append(s.Phases, *p)
+	}
+	sort.Slice(s.Phases, func(i, j int) bool {
+		if s.Phases[i].Self != s.Phases[j].Self {
+			return s.Phases[i].Self > s.Phases[j].Self
+		}
+		return s.Phases[i].Name < s.Phases[j].Name
+	})
+
+	t.m.mu.Lock()
+	if len(t.m.hists) > 0 {
+		s.Hists = make(map[string]Hist, len(t.m.hists))
+		for k, h := range t.m.hists {
+			s.Hists[k] = *h
+		}
+	}
+	t.m.mu.Unlock()
+	return s
+}
+
+// Phase returns the named phase aggregate, or nil.
+func (s *Snapshot) Phase(name string) *PhaseStat {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Phases {
+		if s.Phases[i].Name == name {
+			return &s.Phases[i]
+		}
+	}
+	return nil
+}

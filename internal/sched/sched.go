@@ -17,6 +17,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a bounded worker pool. The zero value is not usable; use New.
@@ -25,7 +26,47 @@ type Pool struct {
 	// workers-1: the goroutine that joins a group counts as the last
 	// worker, running tasks inline when no spare slot is free.
 	sem chan struct{}
+
+	// telemetry — always maintained (four atomic ops per task, well under
+	// the cost of the goroutine handoff they annotate).
+	tasks    atomic.Int64 // tasks dispatched to spare worker goroutines
+	inline   atomic.Int64 // tasks run inline on the submitter (pool full)
+	depth    atomic.Int64 // tasks currently executing (gauge)
+	maxDepth atomic.Int64 // high-water mark of depth
 }
+
+// PoolStats is a snapshot of a pool's scheduling counters.
+type PoolStats struct {
+	Tasks    int64 // tasks run on spare worker goroutines
+	Inline   int64 // tasks run inline because no slot was free
+	Depth    int64 // tasks executing at snapshot time (queue-depth gauge)
+	MaxDepth int64 // most tasks ever executing at once
+}
+
+// Stats snapshots the pool's counters. Safe to call concurrently with
+// task submission; Depth is momentary, the rest are monotonic.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Tasks:    p.tasks.Load(),
+		Inline:   p.inline.Load(),
+		Depth:    p.depth.Load(),
+		MaxDepth: p.maxDepth.Load(),
+	}
+}
+
+// enter marks a task as executing and maintains the depth high-water
+// mark; exit undoes it.
+func (p *Pool) enter() {
+	d := p.depth.Add(1)
+	for {
+		m := p.maxDepth.Load()
+		if d <= m || p.maxDepth.CompareAndSwap(m, d) {
+			return
+		}
+	}
+}
+
+func (p *Pool) exit() { p.depth.Add(-1) }
 
 // New returns a pool executing at most workers tasks concurrently.
 // workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 yields a pool
@@ -76,16 +117,22 @@ func (g *Group) Context() context.Context { return g.ctx }
 func (g *Group) Go(fn func(ctx context.Context) error) {
 	select {
 	case g.pool.sem <- struct{}{}:
+		g.pool.tasks.Add(1)
 		g.wg.Add(1)
 		go func() {
+			g.pool.enter()
 			defer func() {
+				g.pool.exit()
 				<-g.pool.sem
 				g.wg.Done()
 			}()
 			g.record(fn(g.ctx))
 		}()
 	default:
+		g.pool.inline.Add(1)
+		g.pool.enter()
 		g.record(fn(g.ctx))
+		g.pool.exit()
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"nova/internal/espresso"
 	"nova/internal/kiss"
 	"nova/internal/mvmin"
+	"nova/internal/obs"
 )
 
 // OutputCovering derives output covering constraints for one symbolic
@@ -223,6 +224,9 @@ type OutputEncodingResult struct {
 // covering constraints from OutputCovering are satisfied by OutEncoder.
 // The minimum length is used unless the covering DAG forces more bits.
 func EncodeSymbolicOutputs(f *kiss.FSM, opt Options) ([]OutputEncodingResult, error) {
+	sctx, sp := obs.Span(opt.Min.Ctx, "symbolic.outputs")
+	opt.Min.Ctx = sctx
+	defer sp.End()
 	var out []OutputEncodingResult
 	for which := range f.SymOuts {
 		edges, err := OutputCovering(f, which, opt)

@@ -22,6 +22,7 @@ import (
 	"nova/internal/espresso"
 	"nova/internal/kiss"
 	"nova/internal/mvmin"
+	"nova/internal/obs"
 )
 
 // Edge is an output covering relation: the code of From must bitwise cover
@@ -58,6 +59,9 @@ type Output struct {
 
 // Analyze runs the full symbolic minimization pipeline on the FSM.
 func Analyze(f *kiss.FSM, opt Options) (*Output, error) {
+	sctx, sp := obs.Span(opt.Min.Ctx, "symbolic.analyze")
+	opt.Min.Ctx = sctx
+	defer sp.End()
 	p, err := mvmin.Build(f)
 	if err != nil {
 		return nil, err

@@ -38,6 +38,7 @@ import (
 	"nova/internal/espresso"
 	"nova/internal/kiss"
 	"nova/internal/mvmin"
+	"nova/internal/obs"
 	"nova/internal/sched"
 	"nova/internal/symbolic"
 	"nova/internal/verify"
@@ -145,6 +146,13 @@ type Options struct {
 	// joined by variable index — so scheduling order never leaks into the
 	// result, only into wall-clock time.
 	Parallelism int
+	// Tracer, when non-nil, records phase spans and counters for the run;
+	// the snapshot is attached to Result.Telemetry. The default (nil)
+	// records nothing and adds no allocations or measurable overhead to
+	// the hot paths. Tracing never changes the computed Result: spans and
+	// counters are observation only, and the determinism guarantee above
+	// holds with or without a tracer.
+	Tracer *Tracer
 }
 
 // workers resolves Parallelism to a concrete worker count.
@@ -180,6 +188,9 @@ type Result struct {
 	RandomAvgArea int
 	// PLA is the minimized encoded implementation (with KeepPLA).
 	PLA *PLA
+	// Telemetry is the run's phase/counter snapshot, set only when
+	// Options.Tracer was provided (nil otherwise).
+	Telemetry *TelemetrySnapshot
 }
 
 // Constraints derives the weighted input constraints of the FSM's state
@@ -222,7 +233,43 @@ func Encode(f *FSM, opt Options) (*Result, error) {
 // bounded worker pool of Options.Parallelism goroutines; see that field
 // for the determinism guarantee.
 func EncodeContext(ctx context.Context, f *FSM, opt Options) (*Result, error) {
-	return encodeWith(ctx, sched.New(opt.workers()), f, opt)
+	return encodeRun(ctx, sched.New(opt.workers()), f, opt)
+}
+
+// encodeRun wraps one complete run in its telemetry envelope: the tracer
+// (if any) is attached to the context, the run executes under a root
+// "nova.encode" span, the per-algorithm outcome tally and the pool
+// scheduling counters are recorded, and the snapshot is attached to the
+// Result — including the partial Result of an ErrGaveUp run. Without a
+// tracer this is exactly encodeWith.
+func encodeRun(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
+	t := opt.Tracer
+	if t == nil {
+		return encodeWith(ctx, pool, f, opt)
+	}
+	alg := opt.Algorithm
+	if alg == "" {
+		alg = Best
+	}
+	ctx = obs.With(ctx, t)
+	sctx, sp := obs.Span(ctx, "nova.encode")
+	sp.SetStr("machine", f.Name)
+	sp.SetStr("algorithm", string(alg))
+	res, err := encodeWith(sctx, pool, f, opt)
+	outcome := outcomeOf(err)
+	sp.SetStr("outcome", outcome)
+	if res != nil {
+		sp.SetInt("area", int64(res.Area))
+		sp.SetInt("cubes", int64(res.Cubes))
+	}
+	sp.End()
+	m := t.Metrics()
+	m.Add("algo."+outcome+"."+string(alg), 1)
+	flushPoolStats(m, pool)
+	if res != nil {
+		res.Telemetry = t.Snapshot()
+	}
+	return res, err
 }
 
 // encodeWith is the engine behind EncodeContext and EncodeAll: every
@@ -358,10 +405,12 @@ func encodeIO(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Resu
 	symRes := make([]encode.Result, len(f.SymIns))
 	g := pool.Group(ctx)
 	g.Go(func(ctx context.Context) error {
+		sctx, sp := obs.Span(ctx, "search."+string(opt.Algorithm))
+		defer sp.End()
 		if opt.Algorithm == IOHybrid {
-			r = encode.IOHybrid(out.Problem, opt.Bits, hybOpt(ctx, opt))
+			r = encode.IOHybrid(out.Problem, opt.Bits, hybOpt(sctx, opt))
 		} else {
-			r = encode.IOVariant(out.Problem, opt.Bits, hybOpt(ctx, opt))
+			r = encode.IOVariant(out.Problem, opt.Bits, hybOpt(sctx, opt))
 		}
 		if r.Err != nil {
 			return fmt.Errorf("nova: %s: state variable: %w", opt.Algorithm, canceledErr(r.Err))
@@ -370,7 +419,9 @@ func encodeIO(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Resu
 	})
 	for vi := range f.SymIns {
 		g.Go(func(ctx context.Context) error {
-			sr := encode.IHybrid(len(f.SymIns[vi].Values), out.SymIns[vi], 0, hybOpt(ctx, opt))
+			sctx, sp := obs.Span(ctx, "search.symin")
+			defer sp.End()
+			sr := encode.IHybrid(len(f.SymIns[vi].Values), out.SymIns[vi], 0, hybOpt(sctx, opt))
 			if sr.Err != nil {
 				return fmt.Errorf("nova: %s: symbolic input %s: %w", opt.Algorithm, f.SymIns[vi].Name, canceledErr(sr.Err))
 			}
@@ -396,11 +447,16 @@ func encodeIO(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Resu
 // encodes fan out over the pool (joined by variable index).
 func encodeInput(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
 	res := &Result{Algorithm: opt.Algorithm}
+	_, bsp := obs.Span(ctx, "mvmin.build")
 	p, berr := mvmin.Build(f)
+	bsp.End()
 	if berr != nil {
 		return nil, berr
 	}
-	cs := p.Constraints(p.Minimize(minOpt(ctx, opt)))
+	min := p.Minimize(minOpt(ctx, opt))
+	_, csp := obs.Span(ctx, "mvmin.constraints")
+	cs := p.Constraints(min)
+	csp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, canceledErr(err)
 	}
@@ -408,15 +464,18 @@ func encodeInput(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*R
 	symRes := make([]encode.Result, len(f.SymIns))
 	g := pool.Group(ctx)
 	g.Go(func(ctx context.Context) error {
+		sctx, sp := obs.Span(ctx, "search."+string(opt.Algorithm))
+		defer sp.End()
 		switch opt.Algorithm {
 		case IExact:
-			r = encode.IExact(f.NumStates(), cs.States, encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: ctx})
+			r = encode.IExact(f.NumStates(), cs.States, encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx})
 			if r.Err == nil && r.GaveUp {
-				res.GaveUp = true
+				// The deprecated Result.GaveUp flag is set in one place
+				// only: the ErrGaveUp branch after g.Wait below.
 				return fmt.Errorf("nova: %s: state variable: %w", opt.Algorithm, ErrGaveUp)
 			}
 		case IHybrid:
-			r = encode.IHybrid(f.NumStates(), cs.States, opt.Bits, hybOpt(ctx, opt))
+			r = encode.IHybrid(f.NumStates(), cs.States, opt.Bits, hybOpt(sctx, opt))
 		case IGreedy:
 			r = encode.IGreedy(f.NumStates(), cs.States, opt.Bits)
 		case KISS:
@@ -429,20 +488,22 @@ func encodeInput(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*R
 	})
 	for vi := range f.SymIns {
 		g.Go(func(ctx context.Context) error {
+			sctx, sp := obs.Span(ctx, "search.symin")
+			defer sp.End()
 			n := len(f.SymIns[vi].Values)
 			var sr encode.Result
 			switch opt.Algorithm {
 			case IExact:
-				sr = encode.IExact(n, cs.SymIns[vi], encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: ctx})
+				sr = encode.IExact(n, cs.SymIns[vi], encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx})
 				if sr.Err == nil && sr.GaveUp {
-					sr = encode.IHybrid(n, cs.SymIns[vi], 0, hybOpt(ctx, opt))
+					sr = encode.IHybrid(n, cs.SymIns[vi], 0, hybOpt(sctx, opt))
 				}
 			case KISS:
 				sr = encode.SatisfyAll(n, cs.SymIns[vi])
 			case IGreedy:
 				sr = encode.IGreedy(n, cs.SymIns[vi], 0)
 			default:
-				sr = encode.IHybrid(n, cs.SymIns[vi], 0, hybOpt(ctx, opt))
+				sr = encode.IHybrid(n, cs.SymIns[vi], 0, hybOpt(sctx, opt))
 			}
 			if sr.Err != nil {
 				return fmt.Errorf("nova: %s: symbolic input %s: %w", opt.Algorithm, f.SymIns[vi].Name, canceledErr(sr.Err))
@@ -453,7 +514,11 @@ func encodeInput(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*R
 	}
 	if err := g.Wait(); err != nil {
 		if errors.Is(err, ErrGaveUp) {
-			return res, err // partial Result with the deprecated GaveUp flag
+			// Sole writer of the deprecated flag: the partial Result of a
+			// gave-up run carries it for callers still migrating to the
+			// ErrGaveUp sentinel.
+			res.GaveUp = true
+			return res, err
 		}
 		return nil, err
 	}
@@ -468,6 +533,9 @@ func encodeInput(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*R
 // finishEncode completes a run whose assignment is chosen: symbolic
 // outputs are filled in, the encoded machine is minimized and measured.
 func finishEncode(ctx context.Context, f *FSM, res *Result, opt Options) (*Result, error) {
+	sctx, sp := obs.Span(ctx, "nova.finish")
+	defer sp.End()
+	ctx = sctx
 	mopt := minOpt(ctx, opt)
 	if err := fillSymbolicOutputs(f, res, mopt); err != nil {
 		return nil, err
