@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"nova/internal/obs"
-	"nova/internal/sched"
 )
 
 // EncodeAll encodes a batch of machines concurrently over one shared
@@ -32,19 +31,19 @@ func EncodeAll(ctx context.Context, fsms []*FSM, opt Options) ([]*Result, error)
 			return nil, fmt.Errorf("nova: EncodeAll: fsms[%d] is nil", i)
 		}
 	}
-	pool := sched.New(opt.workers())
+	eng := newEngine(opt)
 	results := make([]*Result, len(fsms))
 	t := opt.Tracer
 	ctx = obs.With(ctx, t) // no-op when t is nil
 	bctx, bsp := obs.Span(ctx, "nova.batch")
 	bsp.SetInt("machines", int64(len(fsms)))
-	g := pool.Group(bctx)
+	g := eng.pool.Group(bctx)
 	for i, f := range fsms {
 		g.Go(func(ctx context.Context) error {
 			sctx, sp := obs.Span(ctx, "nova.encode")
 			sp.SetStr("machine", f.Name)
 			defer sp.End()
-			r, err := encodeWith(sctx, pool, f, opt)
+			r, err := encodeWith(sctx, eng, f, opt)
 			if t != nil {
 				outcome := outcomeOf(err)
 				sp.SetStr("outcome", outcome)
@@ -63,7 +62,8 @@ func EncodeAll(ctx context.Context, fsms []*FSM, opt Options) ([]*Result, error)
 	err := g.Wait()
 	bsp.End()
 	if t != nil {
-		flushPoolStats(t.Metrics(), pool)
+		flushPoolStats(t.Metrics(), eng.pool)
+		flushForkStats(t.Metrics(), eng.fork)
 	}
 	if err != nil {
 		return nil, err

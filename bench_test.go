@@ -19,6 +19,7 @@ import (
 	"nova/internal/espresso"
 	"nova/internal/experiments"
 	"nova/internal/mvmin"
+	"nova/internal/sched"
 	"nova/internal/symbolic"
 )
 
@@ -284,6 +285,16 @@ func BenchmarkEncodeBestParallelism(b *testing.B) {
 			}
 		})
 	}
+	// Coarse fan-out plus intra-problem parallelism: forked unate
+	// recursion and speculative search on the same 4-worker pool.
+	b.Run("intra-4", func(b *testing.B) {
+		opt := nova.Options{Algorithm: nova.Best, Seed: 1, Parallelism: 4, IntraParallelism: 4}
+		for i := 0; i < b.N; i++ {
+			if _, err := nova.Encode(f, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --------------------------------------------------------- micro benches
@@ -319,7 +330,12 @@ func mvProblem(b *testing.B, name string) *mvmin.Problem {
 // question IRREDUNDANT asks for every cube: "does the rest of the cover,
 // plus the don't-care set, cover this cube?" — i.e. tautology of the
 // cofactored cover. The rest-covers are prebuilt so the timed region is
-// the recursion itself.
+// the recursion itself. The serial/intra pair compares the plain
+// recursion against the forked one (8-worker pool); outputs are
+// identical, and on a multi-core host the intra variant shows the
+// speedup. Steady state is memo-hit heavy either way — the shared
+// tautology memo answers repeats — so the pair also bounds the fork's
+// overhead on the cached path.
 func BenchmarkTautology(b *testing.B) {
 	p := mvProblem(b, "planet")
 	on, dc := p.On, p.Dc
@@ -340,26 +356,48 @@ func BenchmarkTautology(b *testing.B) {
 		}
 		rests[j] = rest
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		covered := 0
-		for j := 0; j < n; j++ {
-			if rests[j].CoversCube(on.Cubes[j]) {
-				covered++
-			}
+	run := func(b *testing.B, fk *cube.Fork) {
+		b.ReportAllocs()
+		a := cube.GetArena(p.S)
+		defer cube.PutArena(a)
+		if fk != nil {
+			a.SetFork(fk, context.Background())
 		}
-		benchSink = covered
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			covered := 0
+			for j := 0; j < n; j++ {
+				if rests[j].CoversCubeWith(a, on.Cubes[j]) {
+					covered++
+				}
+			}
+			benchSink = covered
+		}
 	}
+	b.Run("serial", func(b *testing.B) { run(b, nil) })
+	b.Run("intra", func(b *testing.B) { run(b, cube.NewFork(sched.New(8), 8)) })
 }
 
 // BenchmarkComplement measures complementation of a real symbolic cover
 // (the operation mvmin.Build runs to derive the global don't-care set).
+// Complement results are not memoized, so the serial/intra pair is a
+// clean recursion-throughput comparison.
 func BenchmarkComplement(b *testing.B) {
 	p := mvProblem(b, "keyb")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		benchSink = p.On.Complement().Len()
+	run := func(b *testing.B, fk *cube.Fork) {
+		b.ReportAllocs()
+		a := cube.GetArena(p.S)
+		defer cube.PutArena(a)
+		if fk != nil {
+			a.SetFork(fk, context.Background())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink = p.On.ComplementWith(a).Len()
+		}
 	}
+	b.Run("serial", func(b *testing.B) { run(b, nil) })
+	b.Run("intra", func(b *testing.B) { run(b, cube.NewFork(sched.New(8), 8)) })
 }
 
 // BenchmarkExpand measures the EXPAND step in isolation on a fresh copy of

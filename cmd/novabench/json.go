@@ -1,0 +1,131 @@
+package main
+
+// The -json mode: a machine-readable performance snapshot comparing the
+// serial pipeline against the intra-parallel one (forked unate recursion
+// plus speculative search fan-out) on the paper's core tables. The
+// snapshot lands in BENCH_<date>.json next to the working directory, one
+// file per day, suitable for archiving as a CI artifact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"nova/internal/experiments"
+)
+
+// tableBench is one serial-vs-intra measurement of a table regeneration.
+type tableBench struct {
+	Table        string  `json:"table"`
+	SerialNsOp   int64   `json:"serial_ns_per_op"`
+	SerialAllocs uint64  `json:"serial_allocs_per_op"`
+	IntraNsOp    int64   `json:"intra_ns_per_op"`
+	IntraAllocs  uint64  `json:"intra_allocs_per_op"`
+	Speedup      float64 `json:"speedup_vs_serial"`
+	AllocRatio   float64 `json:"intra_alloc_ratio"`
+}
+
+type benchSnapshot struct {
+	Date         string       `json:"date"`
+	GoVersion    string       `json:"go_version"`
+	NumCPU       int          `json:"num_cpu"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	IntraWorkers int          `json:"intra_workers"`
+	Note         string       `json:"note"`
+	Tables       []tableBench `json:"tables"`
+}
+
+// measure runs fn once and reports its wall time and allocation count.
+// One table regeneration is the "op": seconds of work, so a single run
+// is a stable enough sample for a daily snapshot (and the encodes inside
+// are deterministic — only scheduling varies between runs).
+func measure(fn func() error) (ns int64, allocs uint64, err error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := fn(); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed.Nanoseconds(), after.Mallocs - before.Mallocs, nil
+}
+
+// regenerate runs one table on a fresh runner (fresh result cache: the
+// measurement must redo the encodes, not read memoized results).
+func regenerate(opts experiments.RunOpts, table int) func() error {
+	return func() error {
+		r := experiments.NewRunner(opts)
+		var err error
+		switch table {
+		case 2:
+			_, err = r.TableII()
+		case 4:
+			_, err = r.TableIV()
+		case 6:
+			_, err = r.TableVI()
+		default:
+			err = fmt.Errorf("unsupported table %d", table)
+		}
+		return err
+	}
+}
+
+// writeBenchJSON measures tables II, IV and VI serially and with
+// intra-problem parallelism, and writes BENCH_<date>.json.
+func writeBenchJSON(opts experiments.RunOpts, intraWorkers int) (string, error) {
+	if intraWorkers < 2 {
+		intraWorkers = 8
+	}
+	snap := benchSnapshot{
+		Date:         time.Now().Format("2006-01-02"),
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		IntraWorkers: intraWorkers,
+		Note: "speedup_vs_serial is wall-clock and needs spare CPUs to exceed 1.0; " +
+			"on a host without them the intra run matches serial within noise while " +
+			"staying byte-identical. allocs are process-wide Mallocs deltas per regeneration.",
+	}
+	serialOpts := opts
+	serialOpts.Intra = 0
+	intraOpts := opts
+	intraOpts.Intra = intraWorkers
+	for _, table := range []int{2, 4, 6} {
+		sNs, sAllocs, err := measure(regenerate(serialOpts, table))
+		if err != nil {
+			return "", fmt.Errorf("table %d serial: %w", table, err)
+		}
+		iNs, iAllocs, err := measure(regenerate(intraOpts, table))
+		if err != nil {
+			return "", fmt.Errorf("table %d intra: %w", table, err)
+		}
+		tb := tableBench{
+			Table:        fmt.Sprintf("table-%d", table),
+			SerialNsOp:   sNs,
+			SerialAllocs: sAllocs,
+			IntraNsOp:    iNs,
+			IntraAllocs:  iAllocs,
+		}
+		if iNs > 0 {
+			tb.Speedup = float64(sNs) / float64(iNs)
+		}
+		if sAllocs > 0 {
+			tb.AllocRatio = float64(iAllocs) / float64(sAllocs)
+		}
+		snap.Tables = append(snap.Tables, tb)
+	}
+	name := "BENCH_" + snap.Date + ".json"
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		return "", err
+	}
+	return name, nil
+}

@@ -43,6 +43,8 @@ func realMain() int {
 	fast := flag.Bool("fast", false, "use the faster single-pass minimizer")
 	seed := flag.Int64("seed", 1, "seed for the random baselines")
 	par := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	intra := flag.Int("intra", 0, "intra-problem parallelism per encode (0/1 = serial inside each problem)")
+	jsonSnap := flag.Bool("json", false, "measure tables II/IV/VI serial vs intra-parallel and write BENCH_<date>.json")
 	exactBudget := flag.Int("exact-budget", 1_500_000, "iexact work budget per machine (0 = library default)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	phaseTable := flag.Bool("phase-table", false, "print a per-machine phase time breakdown after the tables")
@@ -96,11 +98,20 @@ func realMain() int {
 		Seed:         *seed,
 		FastMinimize: *fast,
 		Parallel:     *par,
+		Intra:        *intra,
 		ExactBudget:  *exactBudget,
 		Observe:      *phaseTable,
 	}
 	if *only != "" {
 		opts.Only = strings.Split(*only, ",")
+	}
+	if *jsonSnap {
+		name, err := writeBenchJSON(opts, *intra)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println("wrote", name)
+		return 0
 	}
 	var traceFile *os.File
 	var traceBuf *bufio.Writer

@@ -1,6 +1,9 @@
 package cube
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // Arena is a scratch allocator for the unate-recursion hot path: a free
 // list of cubes and cover containers tied to one Structure layout, plus a
@@ -18,13 +21,18 @@ type Arena struct {
 	cubes  []Cube
 	covers []*Cover
 
-	// memo caches tautology verdicts keyed by the canonical serialized
-	// content of a cover. Keys are content-exact, so a hit can never be
-	// wrong; entries stay valid across calls and across equal-layout
-	// structures. memoIdx/memoBuf are reusable scratch for key building.
-	memo    map[string]bool
+	// memoIdx/memoBuf are reusable scratch for building keys into the
+	// layout's shared tautology memo (see memo.go); the memo itself lives
+	// on the Structure so concurrent arenas share verdicts.
 	memoIdx []int
 	memoBuf []byte
+
+	// fork, when non-nil, parallelizes the unate recursion's branches
+	// (see fork.go); fctx is the cancellation context observed by the
+	// recursion while forking is on, polled every 64 nodes via pollTick.
+	fork     *Fork
+	fctx     context.Context
+	pollTick int
 
 	// stat accumulates hot-loop telemetry in plain ints — the arena is
 	// single-owner, so no atomics are needed here. Callers that trace
@@ -67,10 +75,6 @@ func (a *Arena) Reused() bool { return a.reused }
 // recursion is cheaper than the key construction.
 const memoMinCubes = 4
 
-// memoMaxEntries bounds the cache; it is cleared when returned to the
-// pool above this size.
-const memoMaxEntries = 1 << 14
-
 // NewArena returns an empty arena for structure s.
 func NewArena(s *Structure) *Arena { return &Arena{s: s} }
 
@@ -86,15 +90,46 @@ func GetArena(s *Structure) *Arena {
 	return NewArena(s)
 }
 
-// PutArena returns an arena to its layout's pool.
+// PutArena returns an arena to its layout's pool. Any fork attachment is
+// dropped: the next owner decides its own parallelism.
 func PutArena(a *Arena) {
 	if a == nil {
 		return
 	}
-	if len(a.memo) > memoMaxEntries {
-		a.memo = nil
-	}
+	a.SetFork(nil, nil)
 	a.s.pool.Put(a)
+}
+
+// SetFork attaches (or, with a nil fork, detaches) intra-problem branch
+// parallelism to the arena: while attached, the unate-recursion
+// procedures fork large branch sets onto the fork's pool and poll ctx
+// for cancellation. The arena remains single-owner; the fork only
+// governs where child branches run.
+func (a *Arena) SetFork(fk *Fork, ctx context.Context) {
+	a.fork = fk
+	a.fctx = ctx
+	a.pollTick = 0
+}
+
+// cancelPoll is the recursion-entry cancellation check, active only
+// while a fork is attached. It polls the context once every 64 nodes;
+// a true return tells the recursion to unwind with a conservative
+// verdict (which is never memoized — see TautologyWith).
+func (a *Arena) cancelPoll() bool {
+	if a.fork == nil || a.fctx == nil {
+		return false
+	}
+	a.pollTick++
+	if a.pollTick&63 != 0 {
+		return false
+	}
+	return a.fctx.Err() != nil
+}
+
+// canceled reports whether the arena's fork context (if any) is done —
+// i.e. whether in-flight verdicts may be cancellation-tainted.
+func (a *Arena) canceled() bool {
+	return a.fctx != nil && a.fctx.Err() != nil
 }
 
 // NewCube returns a zeroed cube, recycled when possible.
@@ -157,8 +192,11 @@ func (a *Arena) Release(f *Cover) {
 
 // coverKey builds the canonical content key of f: cube indices sorted
 // lexicographically by words, then all words serialized little-endian.
-// Two covers get the same key iff they contain the same multiset of cubes.
-func (a *Arena) coverKey(f *Cover) string {
+// Two covers get the same key iff they contain the same multiset of
+// cubes. The returned slice aliases arena scratch — it is valid only
+// until the next coverKey call on this arena (the memo copies on
+// insert and only reads during lookup).
+func (a *Arena) coverKey(f *Cover) []byte {
 	n := len(f.Cubes)
 	if cap(a.memoIdx) < n {
 		a.memoIdx = make([]int, n)
@@ -187,22 +225,16 @@ func (a *Arena) coverKey(f *Cover) string {
 				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 		}
 	}
-	a.memoBuf = buf[:0]
-	return string(buf)
+	a.memoBuf = buf
+	return buf
 }
 
-// memoGet looks up a tautology verdict.
-func (a *Arena) memoGet(key string) (bool, bool) {
-	v, ok := a.memo[key]
-	return v, ok
+// memoGet looks up a tautology verdict in the layout's shared memo.
+func (a *Arena) memoGet(key []byte) (bool, bool) {
+	return a.s.memo.get(key)
 }
 
-// memoPut stores a tautology verdict.
-func (a *Arena) memoPut(key string, v bool) {
-	if a.memo == nil {
-		a.memo = make(map[string]bool)
-	}
-	if len(a.memo) < memoMaxEntries {
-		a.memo[key] = v
-	}
+// memoPut stores a tautology verdict in the layout's shared memo.
+func (a *Arena) memoPut(key []byte, v bool) {
+	a.s.memo.put(key, v)
 }

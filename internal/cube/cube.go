@@ -42,6 +42,7 @@ type Structure struct {
 	vlo, vhi []int  // first/last word index of each variable's field
 
 	pool *sync.Pool // shared Arena pool of this layout (see arena.go)
+	memo *tautMemo  // shared tautology memo of this layout (see memo.go)
 }
 
 // NewStructure returns a Structure for variables with the given part counts.
@@ -84,6 +85,7 @@ func NewStructure(sizes ...int) *Structure {
 	key := layoutKey(s.sizes)
 	p, _ := arenaPools.LoadOrStore(key, &sync.Pool{})
 	s.pool = p.(*sync.Pool)
+	s.memo = memoForLayout(key)
 	return s
 }
 

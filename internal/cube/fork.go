@@ -1,0 +1,235 @@
+package cube
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"nova/internal/sched"
+)
+
+// Fork enables intra-problem parallelism inside the unate recursion:
+// when an arena carries a Fork, TautologyWith and ComplementWith
+// evaluate the cofactor branches of sufficiently large covers as tasks
+// on the shared sched.Pool instead of sequentially. Each branch gets its
+// own pooled child arena (keeping the recursion race-free and the
+// allocation wins of arena recycling intact), and results are merged in
+// part order, so outputs are byte-identical to the serial recursion.
+//
+// A Fork is shared by every arena of one encoding run; its counters are
+// atomics. Forking self-limits: a branch is parallelized only while the
+// pool has spare slots, so a pool already saturated by coarser-grained
+// work (other machines, other candidates) degrades to the plain serial
+// recursion with one length check and one channel-len read of overhead
+// per node.
+type Fork struct {
+	pool     *sched.Pool
+	minCubes int
+
+	// dispatch counters.
+	tautForks    atomic.Int64 // tautology nodes whose branches were forked
+	compForks    atomic.Int64 // complement nodes whose branches were forked
+	tautBranches atomic.Int64 // tautology branch tasks executed
+	compBranches atomic.Int64 // complement branch tasks executed
+
+	// child-arena activity: branch tasks run in pooled child arenas whose
+	// stat deltas would otherwise escape the parent-arena flush done by
+	// espresso; they are accumulated here instead and flushed per run.
+	childTautCalls   atomic.Int64
+	childMemoLookups atomic.Int64
+	childMemoHits    atomic.Int64
+	childCubesAlloc  atomic.Int64
+	childCubesReused atomic.Int64
+}
+
+// DefaultForkCubes is the default minimum cofactor-cover size (in cubes)
+// for forking branches: below it the recursion is cheaper than the
+// goroutine handoff.
+const DefaultForkCubes = 24
+
+// NewFork returns a Fork dispatching branch tasks on pool. minCubes is
+// the smallest cover whose branches are worth forking; <= 0 selects
+// DefaultForkCubes. A nil pool or a single-worker pool yields nil (the
+// serial recursion), so callers can pass the result straight to
+// Arena.SetFork.
+func NewFork(pool *sched.Pool, minCubes int) *Fork {
+	if pool == nil || pool.Workers() <= 1 {
+		return nil
+	}
+	if minCubes <= 0 {
+		minCubes = DefaultForkCubes
+	}
+	return &Fork{pool: pool, minCubes: minCubes}
+}
+
+// ForkStats is a snapshot of a Fork's counters.
+type ForkStats struct {
+	TautForks    int64 // tautology nodes forked
+	CompForks    int64 // complement nodes forked
+	TautBranches int64 // tautology branch tasks run
+	CompBranches int64 // complement branch tasks run
+	Child        ArenaStats
+}
+
+// Stats snapshots the fork's counters; safe to call concurrently.
+func (fk *Fork) Stats() ForkStats {
+	if fk == nil {
+		return ForkStats{}
+	}
+	return ForkStats{
+		TautForks:    fk.tautForks.Load(),
+		CompForks:    fk.compForks.Load(),
+		TautBranches: fk.tautBranches.Load(),
+		CompBranches: fk.compBranches.Load(),
+		Child: ArenaStats{
+			TautCalls:       fk.childTautCalls.Load(),
+			TautMemoLookups: fk.childMemoLookups.Load(),
+			TautMemoHits:    fk.childMemoHits.Load(),
+			CubesAlloc:      fk.childCubesAlloc.Load(),
+			CubesReused:     fk.childCubesReused.Load(),
+		},
+	}
+}
+
+// Sub returns s - o, the activity between two snapshots.
+func (s ForkStats) Sub(o ForkStats) ForkStats {
+	return ForkStats{
+		TautForks:    s.TautForks - o.TautForks,
+		CompForks:    s.CompForks - o.CompForks,
+		TautBranches: s.TautBranches - o.TautBranches,
+		CompBranches: s.CompBranches - o.CompBranches,
+		Child:        s.Child.Sub(o.Child),
+	}
+}
+
+func (fk *Fork) addChildStats(d ArenaStats) {
+	fk.childTautCalls.Add(d.TautCalls)
+	fk.childMemoLookups.Add(d.TautMemoLookups)
+	fk.childMemoHits.Add(d.TautMemoHits)
+	fk.childCubesAlloc.Add(d.CubesAlloc)
+	fk.childCubesReused.Add(d.CubesReused)
+}
+
+// shouldFork reports whether this recursion node's branches should be
+// dispatched to the pool: a fork is attached, the cover is big enough to
+// amortize the handoff, and at least one spare worker slot is free right
+// now (a stale read at worst costs one inline-degraded fork).
+func (a *Arena) shouldFork(f *Cover) bool {
+	fk := a.fork
+	return fk != nil && len(f.Cubes) >= fk.minCubes && fk.pool.SpareSlots() > 0
+}
+
+// errBranchFalse is the internal signal that a tautology branch found an
+// uncovered minterm; it cancels the sibling branches through the group.
+var errBranchFalse = errors.New("cube: cofactor branch not tautology")
+
+// tautologyBranchesParallel evaluates the s.Size(v) cofactor branches of
+// the tautology recursion as pool tasks. It returns the verdict and
+// whether the verdict is tainted by external cancellation (tainted
+// verdicts are conservative `false` and must not be memoized).
+//
+// Determinism: the verdict of each branch is a pure function of the
+// cofactor's content, and the node verdict is the AND over branches, so
+// scheduling order cannot change the result — only which branches were
+// skipped after the first genuine false (exactly the work the serial
+// early-exit skips too).
+func (f *Cover) tautologyBranchesParallel(a *Arena, v int) (res, tainted bool) {
+	fk := a.fork
+	s := f.S
+	n := s.Size(v)
+	fk.tautForks.Add(1)
+	g := fk.pool.Group(a.fctx)
+	verdicts := make([]int8, n) // 0 = not evaluated, 1 = tautology, 2 = genuine false
+	for p := 0; p < n; p++ {
+		p := p
+		g.Go(func(ctx context.Context) error {
+			if ctx.Err() != nil {
+				return nil // sibling found false, or external cancel
+			}
+			fk.tautBranches.Add(1)
+			ca := GetArena(s)
+			ca.SetFork(fk, ctx)
+			base := ca.stat
+			sel := ca.CopyCube(s.full)
+			s.ClearAll(sel, v)
+			s.Set(sel, v, p)
+			sub := f.cofactorCoverWith(ca, sel, true)
+			ok := sub.TautologyWith(ca)
+			ca.Release(sub)
+			ca.FreeCube(sel)
+			fk.addChildStats(ca.stat.Sub(base))
+			ca.SetFork(nil, nil)
+			PutArena(ca)
+			if ok {
+				verdicts[p] = 1
+				return nil
+			}
+			if ctx.Err() != nil {
+				return nil // false may be cancellation-induced: discard
+			}
+			verdicts[p] = 2
+			return errBranchFalse // first error cancels the siblings
+		})
+	}
+	g.Wait() // errBranchFalse is expected, not propagated
+	allTrue := true
+	for _, verdict := range verdicts {
+		switch verdict {
+		case 2:
+			return false, false // genuine counterexample: memoizable
+		case 0:
+			allTrue = false
+		}
+	}
+	if allTrue {
+		return true, false
+	}
+	// Some branch was skipped or discarded without any genuine false:
+	// only external cancellation does that. Conservative false, tainted.
+	return false, true
+}
+
+// complementBranchesParallel evaluates the s.Size(v) Shannon branches of
+// the complement recursion as pool tasks, returning the per-part
+// sub-complements already relabeled to their part. Entries are nil only
+// under external cancellation (the caller's result is then discarded by
+// the run's own ctx check). Appending the slices in part order makes the
+// merged cover byte-identical to the serial recursion.
+func (f *Cover) complementBranchesParallel(a *Arena, v int) []*Cover {
+	fk := a.fork
+	s := f.S
+	n := s.Size(v)
+	fk.compForks.Add(1)
+	g := fk.pool.Group(a.fctx)
+	subs := make([]*Cover, n)
+	for p := 0; p < n; p++ {
+		p := p
+		g.Go(func(ctx context.Context) error {
+			if ctx.Err() != nil {
+				return nil
+			}
+			fk.compBranches.Add(1)
+			ca := GetArena(s)
+			ca.SetFork(fk, ctx)
+			base := ca.stat
+			sel := ca.CopyCube(s.full)
+			s.ClearAll(sel, v)
+			s.Set(sel, v, p)
+			gcov := f.cofactorCoverWith(ca, sel, false)
+			sub := gcov.ComplementWith(ca)
+			ca.Release(gcov)
+			ca.FreeCube(sel)
+			fk.addChildStats(ca.stat.Sub(base))
+			ca.SetFork(nil, nil)
+			PutArena(ca)
+			for _, c := range sub.Cubes {
+				s.ClearAll(c, v)
+				s.Set(c, v, p)
+			}
+			subs[p] = sub
+			return nil
+		})
+	}
+	g.Wait()
+	return subs
+}

@@ -1,0 +1,231 @@
+package cube
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"nova/internal/sched"
+)
+
+// randomForkCover builds a random cover with enough cubes to trip the
+// fork threshold.
+func randomForkCover(s *Structure, rng *rand.Rand, ncubes int) *Cover {
+	f := NewCover(s)
+	for i := 0; i < ncubes; i++ {
+		c := s.NewCube()
+		for v := 0; v < s.NumVars(); v++ {
+			any := false
+			for p := 0; p < s.Size(v); p++ {
+				if rng.Intn(2) == 1 {
+					s.Set(c, v, p)
+					any = true
+				}
+			}
+			if !any {
+				s.Set(c, v, rng.Intn(s.Size(v)))
+			}
+		}
+		f.Add(c)
+	}
+	return f
+}
+
+// bruteTautology checks coverage of every minterm by direct enumeration:
+// an oracle independent of the unate recursion and the shared memo.
+func bruteTautology(f *Cover) bool {
+	s := f.S
+	parts := make([]int, s.NumVars())
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == s.NumVars() {
+			for _, c := range f.Cubes {
+				all := true
+				for u, p := range parts {
+					if !s.Test(c, u, p) {
+						all = false
+						break
+					}
+				}
+				if all {
+					return true
+				}
+			}
+			return false
+		}
+		for p := 0; p < s.Size(v); p++ {
+			parts[v] = p
+			if !rec(v + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// TestForkTautologyMatchesSerial sweeps random covers and checks the
+// forked recursion returns exactly the brute-force verdict (the forked
+// run goes first, so the shared layout memo cannot pre-answer it).
+func TestForkTautologyMatchesSerial(t *testing.T) {
+	s := NewStructure(2, 3, 2, 2)
+	pool := sched.New(4)
+	fk := NewFork(pool, 2)
+	if fk == nil {
+		t.Fatal("NewFork returned nil for a 4-worker pool")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		f := randomForkCover(s, rng, 4+rng.Intn(24))
+		want := bruteTautology(f)
+
+		a := NewArena(s)
+		a.SetFork(fk, context.Background())
+		par := f.TautologyWith(a)
+		a.SetFork(nil, nil)
+		if par != want {
+			t.Fatalf("trial %d: forked verdict %v, brute force %v", trial, par, want)
+		}
+		if serial := f.TautologyWith(NewArena(s)); serial != want {
+			t.Fatalf("trial %d: serial verdict %v, brute force %v", trial, serial, want)
+		}
+	}
+	if fk.Stats().TautForks == 0 {
+		t.Fatal("no tautology node ever forked: the test exercised only the serial path")
+	}
+	if got := pool.Stats().Depth; got != 0 {
+		t.Fatalf("pool depth = %d after all forks joined, want 0", got)
+	}
+}
+
+// TestForkComplementMatchesSerial checks the forked complement is
+// byte-identical to the serial one (same cubes, same order).
+func TestForkComplementMatchesSerial(t *testing.T) {
+	s := NewStructure(3, 2, 2, 2)
+	pool := sched.New(4)
+	fk := NewFork(pool, 2)
+	rng := rand.New(rand.NewSource(23))
+	forked := false
+	for trial := 0; trial < 40; trial++ {
+		f := randomForkCover(s, rng, 4+rng.Intn(20))
+		serial := f.ComplementWith(NewArena(s))
+
+		base := fk.Stats().CompForks
+		a := NewArena(s)
+		a.SetFork(fk, context.Background())
+		par := f.ComplementWith(a)
+		a.SetFork(nil, nil)
+		forked = forked || fk.Stats().CompForks > base
+
+		if !reflect.DeepEqual(serial.Cubes, par.Cubes) {
+			t.Fatalf("trial %d: forked complement differs from serial\nserial: %d cubes\nforked: %d cubes",
+				trial, serial.Len(), par.Len())
+		}
+	}
+	if !forked {
+		t.Fatal("no complement node ever forked")
+	}
+	if got := pool.Stats().Depth; got != 0 {
+		t.Fatalf("pool depth = %d after all forks joined, want 0", got)
+	}
+}
+
+// TestForkCancellationUnwinds is the satellite cancellation test: a
+// context canceled while the forked tautology recursion is in flight must
+// unwind promptly, without leaking pool tasks (depth gauge and semaphore
+// both drained) and without poisoning the shared memo with a
+// cancellation-induced conservative false.
+func TestForkCancellationUnwinds(t *testing.T) {
+	// A dedicated layout so no other test's memo entries can satisfy the
+	// queries before the fork engages.
+	s := NewStructure(5, 3, 2)
+	f := NewCover(s)
+	// A minterm-column partition of var0 x var1: a tautology no terminal
+	// case short-circuits (two active variables, not weakly unate), so
+	// the root genuinely recurses — and forks.
+	for p := 0; p < 5; p++ {
+		for q := 0; q < 3; q++ {
+			c := s.NewCube()
+			s.Set(c, 0, p)
+			s.Set(c, 1, q)
+			s.SetAll(c, 2)
+			f.Add(c)
+		}
+	}
+	pool := sched.New(4)
+	fk := NewFork(pool, 2)
+
+	// Deterministic variant: the context is already dead when the forked
+	// branches start, so every branch unwinds before doing work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := NewArena(s)
+	a.SetFork(fk, ctx)
+	if f.TautologyWith(a) {
+		t.Fatal("canceled recursion returned true; want conservative false")
+	}
+	a.SetFork(nil, nil)
+	if got := pool.Stats().Depth; got != 0 {
+		t.Fatalf("pool depth = %d after canceled recursion, want 0 (leaked tasks)", got)
+	}
+	if got, want := pool.SpareSlots(), pool.Workers()-1; got != want {
+		t.Fatalf("spare slots = %d after canceled recursion, want %d (leaked semaphore tokens)", got, want)
+	}
+
+	// Mid-flight variant: cancellation races the recursion. Whatever the
+	// timing, the call must return, the pool must drain, and a subsequent
+	// serial run must still see the true verdict (no memo poisoning).
+	for trial := 0; trial < 20; trial++ {
+		mctx, mcancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(time.Duration(trial)*10*time.Microsecond, mcancel)
+		ma := NewArena(s)
+		ma.SetFork(fk, mctx)
+		res := f.TautologyWith(ma)
+		ma.SetFork(nil, nil)
+		timer.Stop()
+		mcancel()
+		if res && mctx.Err() == nil {
+			continue // completed before the cancel: fine
+		}
+		if got := pool.Stats().Depth; got != 0 {
+			t.Fatalf("trial %d: pool depth = %d after return, want 0", trial, got)
+		}
+	}
+	if got := pool.Stats().Depth; got != 0 {
+		t.Fatalf("pool depth = %d after mid-flight trials, want 0", got)
+	}
+
+	// The memo must not have recorded any cancellation-tainted false:
+	// a clean serial query sees the tautology.
+	if !f.TautologyWith(NewArena(s)) {
+		t.Fatal("serial verdict false after canceled runs: memo poisoned with a tainted verdict")
+	}
+}
+
+// TestForkNilAndSerialPool checks the degraded constructions: NewFork
+// refuses pools that cannot buy concurrency, and a nil fork leaves the
+// recursion untouched.
+func TestForkNilAndSerialPool(t *testing.T) {
+	if NewFork(nil, 0) != nil {
+		t.Fatal("NewFork(nil pool) must be nil")
+	}
+	if NewFork(sched.New(1), 0) != nil {
+		t.Fatal("NewFork(1-worker pool) must be nil")
+	}
+	var fk *Fork
+	if s := fk.Stats(); s != (ForkStats{}) {
+		t.Fatalf("nil Fork stats = %+v, want zero", s)
+	}
+	// SetFork(nil, nil) on an arena is the serial recursion.
+	s := NewStructure(2)
+	f := NewCover(s)
+	f.Add(parse(s, "01"))
+	f.Add(parse(s, "10"))
+	a := NewArena(s)
+	a.SetFork(nil, nil)
+	if !f.TautologyWith(a) {
+		t.Fatal("serial recursion broken under nil fork")
+	}
+}

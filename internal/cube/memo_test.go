@@ -1,0 +1,165 @@
+package cube
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func memoKey(i uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+// TestTautMemoBasic checks put/get round trips and verdict fidelity.
+func TestTautMemoBasic(t *testing.T) {
+	m := newTautMemo()
+	m.put(memoKey(1), true)
+	m.put(memoKey(2), false)
+	if v, ok := m.get(memoKey(1)); !ok || !v {
+		t.Fatalf("get(1) = %v,%v, want true,true", v, ok)
+	}
+	if v, ok := m.get(memoKey(2)); !ok || v {
+		t.Fatalf("get(2) = %v,%v, want false,true", v, ok)
+	}
+	if _, ok := m.get(memoKey(3)); ok {
+		t.Fatal("get(3) hit on a key never inserted")
+	}
+	if m.len() != 2 {
+		t.Fatalf("len = %d, want 2", m.len())
+	}
+}
+
+// TestTautMemoKeyBufferReuse checks the no-copy probe contract: the
+// caller may clobber the key buffer after get/put return.
+func TestTautMemoKeyBufferReuse(t *testing.T) {
+	m := newTautMemo()
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, 42)
+	m.put(buf, true)
+	binary.LittleEndian.PutUint64(buf, 43) // clobber after put
+	m.put(buf, false)
+	if v, ok := m.get(memoKey(42)); !ok || !v {
+		t.Fatalf("key 42 = %v,%v after buffer reuse, want true,true", v, ok)
+	}
+	if v, ok := m.get(memoKey(43)); !ok || v {
+		t.Fatalf("key 43 = %v,%v after buffer reuse, want false,true", v, ok)
+	}
+}
+
+// TestTautMemoLRUBound checks the cap: after inserting far more entries
+// than the configured capacity, the memo holds at most cap entries and
+// the freshest insert of each shard is still resident.
+func TestTautMemoLRUBound(t *testing.T) {
+	defer SetTautMemoCap(0)
+	SetTautMemoCap(64) // 4 per shard
+	m := newTautMemo()
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		m.put(memoKey(i), i%2 == 0)
+	}
+	if got := m.len(); got > 64 {
+		t.Fatalf("len = %d after %d inserts, cap 64", got, n)
+	}
+	// The last insert hashes into some shard and must have survived as
+	// that shard's most recent entry.
+	if v, ok := m.get(memoKey(n - 1)); !ok || v != ((n-1)%2 == 0) {
+		t.Fatalf("freshest key evicted or wrong: %v,%v", v, ok)
+	}
+}
+
+// TestTautMemoRefreshOnGet checks recency: with a single-entry shard
+// budget, a key that is re-read survives a duplicate re-put (refresh, not
+// duplicate insertion) and the memo never exceeds its bound.
+func TestTautMemoRefreshOnGet(t *testing.T) {
+	defer SetTautMemoCap(0)
+	SetTautMemoCap(memoShards) // 1 entry per shard
+	m := newTautMemo()
+	m.put(memoKey(7), true)
+	for i := 0; i < 100; i++ {
+		m.put(memoKey(7), true) // refresh path, not growth
+	}
+	if got := m.len(); got != 1 {
+		t.Fatalf("len = %d after re-puts of one key, want 1", got)
+	}
+	if v, ok := m.get(memoKey(7)); !ok || !v {
+		t.Fatalf("refreshed key lost: %v,%v", v, ok)
+	}
+}
+
+// TestSetTautMemoCapRestoresDefault checks n <= 0 restores the default.
+func TestSetTautMemoCapRestoresDefault(t *testing.T) {
+	SetTautMemoCap(128)
+	if got := shardCap(); got != 128/memoShards {
+		t.Fatalf("shardCap = %d, want %d", got, 128/memoShards)
+	}
+	SetTautMemoCap(0)
+	if got := shardCap(); got != DefaultTautMemoCap/memoShards {
+		t.Fatalf("shardCap = %d after restore, want %d", got, DefaultTautMemoCap/memoShards)
+	}
+	// A cap below the shard count still leaves one entry per shard.
+	SetTautMemoCap(1)
+	if got := shardCap(); got != 1 {
+		t.Fatalf("shardCap = %d for cap 1, want 1", got)
+	}
+	SetTautMemoCap(0)
+}
+
+// TestTautMemoConcurrent hammers one memo from many goroutines (run
+// under -race in CI): concurrent readers and writers against overlapping
+// keys, with eviction pressure from a small cap.
+func TestTautMemoConcurrent(t *testing.T) {
+	defer SetTautMemoCap(0)
+	SetTautMemoCap(256)
+	m := newTautMemo()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); i < 2000; i++ {
+				k := memoKey(i % 512)
+				if v, ok := m.get(k); ok && v != (i%512%2 == 0) {
+					t.Errorf("worker %d: wrong verdict for key %d", w, i%512)
+					return
+				}
+				m.put(k, i%512%2 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.len(); got > 256 {
+		t.Fatalf("len = %d under concurrency, cap 256", got)
+	}
+}
+
+// TestTautologyMemoSharedAcrossArenas checks the end-to-end wiring: two
+// arenas over structures of the same layout share verdicts through the
+// layout memo.
+func TestTautologyMemoSharedAcrossArenas(t *testing.T) {
+	s := NewStructure(2, 2, 2)
+	f := NewCover(s)
+	// x + x' over the first variable, padded to memoMinCubes cubes.
+	f.Add(parse(s, "01", "11", "11"))
+	f.Add(parse(s, "10", "11", "11"))
+	f.Add(parse(s, "01", "01", "11"))
+	f.Add(parse(s, "10", "10", "11"))
+
+	a1 := NewArena(s)
+	if !f.TautologyWith(a1) {
+		t.Fatal("cover is a tautology")
+	}
+	if a1.stat.TautMemoLookups == 0 {
+		t.Fatal("large cover did not probe the memo")
+	}
+
+	a2 := NewArena(s)
+	before := a2.stat.TautMemoHits
+	if !f.TautologyWith(a2) {
+		t.Fatal("cover is a tautology (second arena)")
+	}
+	if a2.stat.TautMemoHits == before {
+		t.Fatal("second arena missed the shared layout memo")
+	}
+}

@@ -27,6 +27,10 @@ type ExactOptions struct {
 	// Result has GaveUp set (the paper's iexact likewise fails to
 	// complete on the hardest examples).
 	MaxWork int
+	// Fanout, when active, fans the primary-level-vector searches of a
+	// dimension out across pool workers with a shared best-index bound;
+	// results stay byte-identical to the serial search (see Fanout).
+	Fanout Fanout
 }
 
 // IExact implements iexact_code (Section III): find an encoding of n
@@ -123,46 +127,33 @@ func IExact(n int, ics []constraint.Constraint, opt ExactOptions) (res Result) {
 		}
 		kBudget := truncated
 		for round := 0; round < 2 && kWork < perK; round++ {
-			roundBudget := false
-			for _, dimvect := range vectors {
-				if err := ctxErr(opt.Ctx); err != nil {
-					res.Err = err
-					res.Work = totalWork
-					return res
-				}
-				w := slice
-				if rem := perK - kWork; w > rem {
-					w = rem
-				}
-				if w <= 0 {
-					roundBudget = true
-					break
-				}
-				s := newSearcher(g, k)
-				s.allLevels = true
-				s.maxWork = w
-				s.ctx = opt.Ctx
-				s.levels = map[*constraint.Node]int{}
-				for i, nd := range primaries {
-					s.levels[nd] = dimvect[i]
-				}
-				ok := s.solve(nil)
-				s.flushMetrics(m)
-				kWork += s.work
-				totalWork += s.work
-				if ok {
-					res.Enc = s.extract()
-					res.Work = totalWork
-					// Minimal iff every smaller dimension was exhausted.
-					res.Proven = !anyBudget
-					score(&res, ics)
-					return res
-				}
-				if s.budget {
-					roundBudget, kBudget = true, true
-				}
+			var work int
+			var roundBudget bool
+			var winner *searcher
+			var err error
+			if opt.Fanout.active() && len(vectors) > 1 {
+				work, roundBudget, winner, err = iexactRoundSpec(opt, m, g, k, primaries, vectors, slice, perK, kWork)
+			} else {
+				work, roundBudget, winner, err = iexactRoundSerial(opt, m, g, k, primaries, vectors, slice, perK, kWork)
 			}
-			if !roundBudget && !truncated {
+			kWork += work
+			totalWork += work
+			if err != nil {
+				res.Err = err
+				res.Work = totalWork
+				return res
+			}
+			if winner != nil {
+				res.Enc = winner.extract()
+				res.Work = totalWork
+				// Minimal iff every smaller dimension was exhausted.
+				res.Proven = !anyBudget
+				score(&res, ics)
+				return res
+			}
+			if roundBudget {
+				kBudget = true
+			} else if !truncated {
 				// Every vector exhausted within its slice: dimension k is
 				// proven infeasible.
 				kBudget = false

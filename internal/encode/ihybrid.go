@@ -22,6 +22,10 @@ type HybridOptions struct {
 	// and between semiexact_code calls; cancellation aborts the run with
 	// Result.Err set to the context error.
 	Ctx context.Context
+	// Fanout, when active, speculates the next semiexact link of the
+	// greedy acceptance chain on spare pool workers; results stay
+	// byte-identical to the serial chain (see Fanout).
+	Fanout Fanout
 }
 
 func (o *HybridOptions) defaults() {
@@ -36,24 +40,9 @@ func (o *HybridOptions) defaults() {
 // returns the found encoding and whether all the given constraints were
 // satisfied.
 func semiexact(ctx context.Context, n int, sic []constraint.Constraint, cubeDim, maxWork int, oc []OCEdge) (encoding.Encoding, bool, int) {
-	sctx, sp := obs.Span(ctx, "search.semiexact")
-	sp.SetInt("constraints", int64(len(sic)))
-	g := constraint.BuildGraph(n, sic)
-	s := newSearcher(g, cubeDim)
-	s.allLevels = false
-	s.maxWork = maxWork
-	s.oc = oc
-	s.ctx = sctx
-	ok := s.solve(nil)
-	s.flushMetrics(obs.MetricsFrom(ctx))
-	if sp != nil {
-		sp.SetInt("work", int64(s.work))
-		sp.End()
-	}
-	if ok {
-		return s.extract(), true, s.work
-	}
-	return encoding.Encoding{}, false, s.work
+	out := semiexactRun(ctx, n, sic, cubeDim, maxWork, oc, "search.semiexact")
+	out.s.flushMetrics(obs.MetricsFrom(ctx))
+	return out.enc, out.ok, out.work
 }
 
 // ctxErr returns the context's error, tolerating a nil context.
@@ -79,23 +68,15 @@ func IHybrid(n int, ics []constraint.Constraint, bits int, opt HybridOptions) Re
 	}
 	var res Result
 
-	var sic, ric []constraint.Constraint
-	var enc encoding.Encoding
-	have := false
-	for _, ic := range ics { // ics is sorted by decreasing weight
-		if err := ctxErr(opt.Ctx); err != nil {
-			res.Err = err
-			return res
-		}
-		e, ok, w := semiexact(opt.Ctx, n, append(append([]constraint.Constraint(nil), sic...), ic), cubeDim, opt.MaxWork, nil)
-		res.Work += w
-		if ok {
-			enc, have = e, true
-			sic = append(sic, ic)
-		} else {
-			ric = append(ric, ic)
-		}
+	// ics is sorted by decreasing weight; the chain accepts greedily.
+	chain := semiexactChain(opt, n, ics, cubeDim)
+	res.Work += chain.work
+	if chain.err != nil {
+		res.Err = chain.err
+		return res
 	}
+	sic, ric := chain.sic, chain.ric
+	enc, have := chain.enc, chain.have
 	if err := ctxErr(opt.Ctx); err != nil {
 		res.Err = err
 		return res

@@ -80,23 +80,14 @@ func ioEncode(p IOProblem, bits int, opt HybridOptions, variant bool) Result {
 	if variant {
 		stage1 = constraint.Normalize(p.ICo)
 	}
-	var sic, ric []constraint.Constraint
-	var enc encoding.Encoding
-	have := false
-	for _, ic := range stage1 {
-		if err := ctxErr(opt.Ctx); err != nil {
-			res.Err = err
-			return res
-		}
-		e, ok, w := semiexact(opt.Ctx, p.N, append(append([]constraint.Constraint(nil), sic...), ic), cubeDim, opt.MaxWork, nil)
-		res.Work += w
-		if ok {
-			enc, have = e, true
-			sic = append(sic, ic)
-		} else {
-			ric = append(ric, ic)
-		}
+	chain := semiexactChain(opt, p.N, stage1, cubeDim)
+	res.Work += chain.work
+	if chain.err != nil {
+		res.Err = chain.err
+		return res
 	}
+	sic, ric := chain.sic, chain.ric
+	enc, have := chain.enc, chain.have
 
 	// Stage 2: clusters in decreasing weight.
 	clusters := append([]Cluster(nil), p.Clusters...)

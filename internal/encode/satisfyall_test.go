@@ -1,0 +1,90 @@
+package encode
+
+import (
+	"testing"
+
+	"nova/internal/constraint"
+)
+
+// TestSatisfyAllNoConstraints returns natural codes at the minimum
+// length when there is nothing to satisfy.
+func TestSatisfyAllNoConstraints(t *testing.T) {
+	res := SatisfyAll(5, nil)
+	if res.Enc.Bits != MinLength(5) {
+		t.Fatalf("bits = %d, want %d", res.Enc.Bits, MinLength(5))
+	}
+	for i, c := range res.Enc.Codes {
+		if c != uint64(i) {
+			t.Fatalf("code[%d] = %d, want natural %d", i, c, i)
+		}
+	}
+	if res.WUnsat != 0 {
+		t.Fatalf("WUnsat = %d with no constraints", res.WUnsat)
+	}
+}
+
+// TestSatisfyAllCompleteSatisfaction is the KISS guarantee: every input
+// constraint is satisfied, whatever length that takes.
+func TestSatisfyAllCompleteSatisfaction(t *testing.T) {
+	ics := paperIC(3, 1, 2, 1, 1, 1)
+	res := SatisfyAll(7, ics)
+	checkAllSatisfied(t, res.Enc, ics)
+	if res.WUnsat != 0 || len(res.Unsatisfied) != 0 {
+		t.Fatalf("SatisfyAll left WUnsat=%d Unsatisfied=%v", res.WUnsat, res.Unsatisfied)
+	}
+	if res.Enc.Bits < MinLength(7) {
+		t.Fatalf("bits = %d below the minimum length %d", res.Enc.Bits, MinLength(7))
+	}
+}
+
+// TestSatisfyAllAlreadySatisfied keeps the minimum length when the
+// natural codes already embed every constraint: {0,1} is the face 00-
+// under 2-bit natural codes.
+func TestSatisfyAllAlreadySatisfied(t *testing.T) {
+	ics := []constraint.Constraint{{Set: constraint.MustFromString("1100"), Weight: 1}}
+	res := SatisfyAll(4, ics)
+	if res.Enc.Bits != 2 {
+		t.Fatalf("bits = %d, want 2 (natural codes already satisfy {0,1})", res.Enc.Bits)
+	}
+	checkAllSatisfied(t, res.Enc, ics)
+}
+
+// TestSatisfyAllRaisesDimension forces the projection loop: constraints
+// that natural codes cannot embed at the minimum length must add
+// dimensions, one satisfied constraint (at least) per added bit.
+func TestSatisfyAllRaisesDimension(t *testing.T) {
+	// {0,3} and {1,2} are not faces of the 2-bit natural assignment, and
+	// not simultaneously embeddable with {0,1} without extra dimensions.
+	ics := []constraint.Constraint{
+		{Set: constraint.MustFromString("1001"), Weight: 2},
+		{Set: constraint.MustFromString("0110"), Weight: 1},
+		{Set: constraint.MustFromString("1100"), Weight: 1},
+	}
+	res := SatisfyAll(4, ics)
+	checkAllSatisfied(t, res.Enc, ics)
+	if res.Enc.Bits <= 2 {
+		t.Fatalf("bits = %d, expected the projection loop to raise the length", res.Enc.Bits)
+	}
+	// The per-dimension guarantee of Proposition 4.2.1 bounds the growth:
+	// at most one added bit per initially unsatisfied constraint.
+	if res.Enc.Bits > 2+len(ics) {
+		t.Fatalf("bits = %d, more than one added dimension per constraint", res.Enc.Bits)
+	}
+}
+
+// TestSatisfyAllNormalizes checks duplicate constraints merge (Normalize)
+// rather than each forcing its own projection step.
+func TestSatisfyAllNormalizes(t *testing.T) {
+	ics := []constraint.Constraint{
+		{Set: constraint.MustFromString("1001"), Weight: 1},
+		{Set: constraint.MustFromString("1001"), Weight: 1},
+	}
+	res := SatisfyAll(4, ics)
+	checkAllSatisfied(t, res.Enc, ics)
+	if res.Enc.Bits > 3 {
+		t.Fatalf("bits = %d, duplicate constraint forced extra dimensions", res.Enc.Bits)
+	}
+	if res.WSat != 2 {
+		t.Fatalf("WSat = %d, want merged weight 2", res.WSat)
+	}
+}

@@ -53,9 +53,10 @@ type searcher struct {
 	// (semiexact).
 	allLevels bool
 
-	maxWork int // 0 = unbounded
+	maxWork int  // 0 = unbounded
 	work    int
 	budget  bool // set when the work bound fired
+	solved  bool // set by runVector: solve's verdict, kept with the searcher
 
 	// Telemetry accumulated in plain ints (the searcher is single-owner);
 	// flushMetrics pushes the totals into a run's obs.Metrics, if any.

@@ -1,0 +1,376 @@
+package encode
+
+import (
+	"context"
+	"sync/atomic"
+
+	"nova/internal/constraint"
+	"nova/internal/encoding"
+	"nova/internal/obs"
+	"nova/internal/sched"
+)
+
+// Fanout enables intra-problem speculation in the encoding searches:
+// with a multi-worker pool attached, IExact fans the primary-level-vector
+// searches of one dimension out across workers (with a shared atomic
+// best-index bound and cancellation of losing vectors), and the greedy
+// semiexact chains of IHybrid / IOHybrid speculate the next link under
+// both the accept and the reject hypothesis of the current one.
+//
+// Every speculative path is replayed against the serial schedule before
+// its outcome is adopted, so results — including work accounting, budget
+// flags, and tie-breaking (the lowest-index success wins) — are
+// byte-identical to the serial search. The zero Fanout disables
+// speculation.
+type Fanout struct {
+	// Pool supplies the workers. nil or a single-worker pool keeps the
+	// searches strictly serial.
+	Pool *sched.Pool
+}
+
+func (f Fanout) active() bool { return f.Pool != nil && f.Pool.Workers() > 1 }
+
+// specOut is the outcome of one semiexact run: the searcher retains the
+// work/telemetry tallies, which are flushed only if the run is adopted.
+type specOut struct {
+	enc  encoding.Encoding
+	ok   bool
+	work int
+	s    *searcher
+}
+
+// semiexactRun is the engine behind semiexact: one pos_equiv run without
+// the metric flush, so speculative runs can be discarded without
+// perturbing the run's counters. spanName distinguishes speculative
+// executions ("search.speculate") from on-schedule ones
+// ("search.semiexact") in traces.
+func semiexactRun(ctx context.Context, n int, sic []constraint.Constraint, cubeDim, maxWork int, oc []OCEdge, spanName string) specOut {
+	sctx, sp := obs.Span(ctx, spanName)
+	sp.SetInt("constraints", int64(len(sic)))
+	g := constraint.BuildGraph(n, sic)
+	s := newSearcher(g, cubeDim)
+	s.allLevels = false
+	s.maxWork = maxWork
+	s.oc = oc
+	s.ctx = sctx
+	ok := s.solve(nil)
+	if sp != nil {
+		sp.SetInt("work", int64(s.work))
+		sp.End()
+	}
+	out := specOut{ok: ok, work: s.work, s: s}
+	if ok {
+		out.enc = s.extract()
+	}
+	return out
+}
+
+// chainResult is what the stage-1 greedy semiexact cycle produces.
+type chainResult struct {
+	enc  encoding.Encoding
+	have bool
+	sic  []constraint.Constraint
+	ric  []constraint.Constraint
+	work int
+	err  error
+}
+
+// semiexactChain runs the greedy acceptance cycle shared by IHybrid and
+// ioEncode stage 1: for each constraint in order, a bounded semiexact
+// over the accepted set plus the candidate; accept on success. With an
+// active Fanout it speculates each next link while the current one runs.
+func semiexactChain(opt HybridOptions, n int, ics []constraint.Constraint, cubeDim int) chainResult {
+	if opt.Fanout.active() && len(ics) > 1 {
+		return semiexactChainSpec(opt, n, ics, cubeDim)
+	}
+	var r chainResult
+	for _, ic := range ics {
+		if err := ctxErr(opt.Ctx); err != nil {
+			r.err = err
+			return r
+		}
+		e, ok, w := semiexact(opt.Ctx, n, append(append([]constraint.Constraint(nil), r.sic...), ic), cubeDim, opt.MaxWork, nil)
+		r.work += w
+		if ok {
+			r.enc, r.have = e, true
+			r.sic = append(r.sic, ic)
+		} else {
+			r.ric = append(r.ric, ic)
+		}
+	}
+	return r
+}
+
+// spec is one in-flight speculative semiexact run.
+type spec struct {
+	cancel context.CancelFunc
+	done   chan specOut // buffered: the task never blocks on delivery
+}
+
+// launch starts a speculative run on the group if a spare worker slot is
+// free (speculation is never worth running inline — it would serialize
+// ahead of the decision that may discard it). Returns nil when skipped.
+func launch(g *sched.Group, m *obs.Metrics, n int, sic []constraint.Constraint, cubeDim, maxWork int) *spec {
+	sctx, cancel := context.WithCancel(g.Context())
+	sp := &spec{cancel: cancel, done: make(chan specOut, 1)}
+	accepted := g.TryGo(func(context.Context) error {
+		m.Add("search.spec_branches", 1)
+		sp.done <- semiexactRun(sctx, n, sic, cubeDim, maxWork, nil, "search.speculate")
+		return nil
+	})
+	if !accepted {
+		cancel()
+		m.Add("search.spec_skipped", 1)
+		return nil
+	}
+	return sp
+}
+
+// semiexactChainSpec is semiexactChain with rolling two-way speculation:
+// while link i runs, the two possible versions of link i+1 (under the
+// accept and the reject hypothesis for link i) are launched on spare
+// workers; the matching one is adopted, the loser canceled. Adopted runs
+// received the exact constraint sets the serial chain would have built,
+// and their searchers are deterministic (constant work bound, context
+// only canceled on loss), so the chain's results — encoding, accept/
+// reject partition, and work totals — are byte-identical to serial.
+func semiexactChainSpec(opt HybridOptions, n int, ics []constraint.Constraint, cubeDim int) chainResult {
+	m := obs.MetricsFrom(opt.Ctx)
+	g := opt.Fanout.Pool.Group(opt.Ctx)
+	var r chainResult
+
+	// withCand builds the serial chain's trial set: a fresh slice of the
+	// accepted constraints followed by the candidates.
+	withCand := func(sic []constraint.Constraint, cands ...constraint.Constraint) []constraint.Constraint {
+		out := append([]constraint.Constraint(nil), sic...)
+		return append(out, cands...)
+	}
+
+	var cur *spec // speculative run matching the serial schedule for link i
+	var inflight []*spec
+	cancelAll := func() {
+		for _, sp := range inflight {
+			if sp != nil {
+				sp.cancel()
+			}
+		}
+		g.Wait() // done channels are buffered; tasks cannot leak
+	}
+	defer cancelAll()
+
+	for i, ic := range ics {
+		if err := ctxErr(opt.Ctx); err != nil {
+			r.err = err
+			return r
+		}
+		// Speculate link i+1 under both hypotheses before resolving link
+		// i, so the speculative runs overlap with the on-schedule one.
+		var onAccept, onReject *spec
+		if i+1 < len(ics) {
+			onAccept = launch(g, m, n, withCand(r.sic, ic, ics[i+1]), cubeDim, opt.MaxWork)
+			onReject = launch(g, m, n, withCand(r.sic, ics[i+1]), cubeDim, opt.MaxWork)
+			inflight = append(inflight, onAccept, onReject)
+		}
+		var out specOut
+		if cur != nil {
+			out = <-cur.done
+			m.Add("search.spec_adopted", 1)
+		} else {
+			out = semiexactRun(opt.Ctx, n, withCand(r.sic, ic), cubeDim, opt.MaxWork, nil, "search.semiexact")
+		}
+		out.s.flushMetrics(m) // adopted runs only: discarded ones never count
+		r.work += out.work
+		var next *spec
+		if out.ok {
+			r.enc, r.have = out.enc, true
+			r.sic = append(r.sic, ic)
+			next = onAccept
+			if onReject != nil {
+				onReject.cancel()
+			}
+		} else {
+			r.ric = append(r.ric, ic)
+			next = onReject
+			if onAccept != nil {
+				onAccept.cancel()
+			}
+		}
+		cur = next
+	}
+	return r
+}
+
+// vecOutcome is the standalone result of one speculatively searched
+// primary level vector in IExact.
+type vecOutcome struct {
+	s      *searcher
+	ok     bool
+	pruned bool // skipped: a lower-index vector had already succeeded
+}
+
+// iexactRoundSerial runs one retry round of IExact's per-dimension
+// vector loop on the serial schedule. It returns the work consumed, the
+// round's budget flag, the winning searcher (nil if none), and any
+// context error.
+func iexactRoundSerial(opt ExactOptions, m *obs.Metrics, g *constraint.Graph, k int,
+	primaries []*constraint.Node, vectors [][]int, slice, perK, kWork int) (work int, roundBudget bool, winner *searcher, err error) {
+	for _, dimvect := range vectors {
+		if err = ctxErr(opt.Ctx); err != nil {
+			return work, roundBudget, nil, err
+		}
+		w := slice
+		if rem := perK - kWork - work; w > rem {
+			w = rem
+		}
+		if w <= 0 {
+			return work, true, nil, nil
+		}
+		s := runVector(opt.Ctx, g, k, primaries, dimvect, w)
+		s.flushMetrics(m)
+		work += s.work
+		if s.solved {
+			return work, roundBudget, s, nil
+		}
+		if s.budget {
+			roundBudget = true
+		}
+	}
+	return work, roundBudget, nil, nil
+}
+
+// runVector runs one primary-level-vector search with the given work cap.
+func runVector(ctx context.Context, g *constraint.Graph, k int,
+	primaries []*constraint.Node, dimvect []int, maxWork int) *searcher {
+	s := newSearcher(g, k)
+	s.allLevels = true
+	s.maxWork = maxWork
+	s.ctx = ctx
+	s.levels = map[*constraint.Node]int{}
+	for i, nd := range primaries {
+		s.levels[nd] = dimvect[i]
+	}
+	s.solved = s.solve(nil)
+	return s
+}
+
+// iexactRoundSpec is iexactRoundSerial with the vectors fanned out
+// across the pool in chunks of the worker count. Each chunk's vectors
+// run concurrently with the full slice as their work cap and a shared
+// atomic best-index bound: the first (lowest-index) success cancels the
+// higher-index vectors, and later vectors skip themselves when a better
+// index already won — exactly the work the serial early-exit skips.
+//
+// Adoption replays the serial schedule over the standalone outcomes in
+// index order: an outcome is adopted verbatim when the serial work cap
+// would not have cut it short; otherwise the serial search would have
+// burned its cap and stopped at exactly cap+1 ticks (verify increments
+// the tick before testing the bound and the unwind performs no further
+// verify calls), which is accounted without re-running. Cancelled or
+// skipped outcomes below the adoption point are re-run serially — a
+// corner only reachable when a budget truncation hides the winner.
+func iexactRoundSpec(opt ExactOptions, m *obs.Metrics, g *constraint.Graph, k int,
+	primaries []*constraint.Node, vectors [][]int, slice, perK, kWork int) (work int, roundBudget bool, winner *searcher, err error) {
+	pool := opt.Fanout.Pool
+	fan := pool.Workers()
+	for base := 0; base < len(vectors); base += fan {
+		end := base + fan
+		if end > len(vectors) {
+			end = len(vectors)
+		}
+		chunk := vectors[base:end]
+		n := len(chunk)
+
+		outcomes := make([]vecOutcome, n)
+		var best atomic.Int64
+		best.Store(int64(n))
+		grp := pool.Group(opt.Ctx)
+		cancels := make([]context.CancelFunc, n)
+		ctxs := make([]context.Context, n)
+		for i := range chunk {
+			ctxs[i], cancels[i] = context.WithCancel(grp.Context())
+		}
+		for i := range chunk {
+			i := i
+			grp.Go(func(context.Context) error {
+				if int64(i) >= best.Load() {
+					outcomes[i].pruned = true
+					m.Add("search.bound_pruned", 1)
+					return nil
+				}
+				m.Add("search.spec_branches", 1)
+				sctx, sp := obs.Span(ctxs[i], "search.speculate")
+				s := runVector(sctx, g, k, primaries, chunk[i], slice)
+				if sp != nil {
+					sp.SetInt("work", int64(s.work))
+					sp.End()
+				}
+				outcomes[i] = vecOutcome{s: s, ok: s.solved}
+				if s.solved && !s.canceled {
+					for {
+						b := best.Load()
+						if int64(i) >= b {
+							break
+						}
+						if best.CompareAndSwap(b, int64(i)) {
+							for j := i + 1; j < n; j++ {
+								cancels[j]()
+							}
+							break
+						}
+					}
+				}
+				return nil
+			})
+		}
+		grp.Wait()
+		for _, c := range cancels {
+			c()
+		}
+
+		// Serial-schedule replay over the chunk.
+		for i := 0; i < n; i++ {
+			if err = ctxErr(opt.Ctx); err != nil {
+				return work, roundBudget, nil, err
+			}
+			w := slice
+			if rem := perK - kWork - work; w > rem {
+				w = rem
+			}
+			if w <= 0 {
+				return work, true, nil, nil
+			}
+			o := outcomes[i]
+			if o.s == nil || o.pruned || o.s.canceled {
+				// Not usable standalone (skipped, or canceled by a winner
+				// the budget later truncated): run it on-schedule.
+				s := runVector(opt.Ctx, g, k, primaries, chunk[i], w)
+				s.flushMetrics(m)
+				work += s.work
+				if s.solved {
+					return work, roundBudget, s, nil
+				}
+				if s.budget {
+					roundBudget = true
+				}
+				continue
+			}
+			if o.s.work <= w && !o.s.budget {
+				// The serial cap would not have interfered: adopt verbatim.
+				o.s.flushMetrics(m)
+				work += o.s.work
+				if o.ok {
+					return work, roundBudget, o.s, nil
+				}
+				continue
+			}
+			// The standalone run outran the serial cap w (< slice): the
+			// serial search stops at exactly w+1 ticks with the budget
+			// flag set.
+			o.s.flushMetrics(m)
+			m.Add("search.spec_truncated", 1)
+			work += w + 1
+			roundBudget = true
+		}
+	}
+	return work, roundBudget, nil, nil
+}

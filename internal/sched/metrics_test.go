@@ -63,6 +63,20 @@ func TestPoolStatsDeterministic2Worker(t *testing.T) {
 	if s := p.Stats(); s.Tasks != 1 || s.Inline != 3 || s.Depth != 0 || s.MaxDepth != 2 {
 		t.Fatalf("after Wait: %+v, want Tasks=1 Inline=3 Depth=0 MaxDepth=2", s)
 	}
+
+	// The histogram samples depth at task START: the parked worker began
+	// alone (depth 1); each inline task began alongside it (depth 2).
+	// Recording at enqueue time would instead have credited the inline
+	// tasks to whatever the queue looked like before they ran.
+	s = p.Stats()
+	if s.DepthHist[1] != 1 || s.DepthHist[2] != 3 {
+		t.Fatalf("depth histogram = %v, want [1]=1 [2]=3", s.DepthHist)
+	}
+	for i, n := range s.DepthHist {
+		if i != 1 && i != 2 && n != 0 {
+			t.Fatalf("unexpected histogram bucket [%d]=%d (%v)", i, n, s.DepthHist)
+		}
+	}
 }
 
 // TestPoolStatsSerialPool checks that a Parallelism=1 pool runs every
@@ -78,6 +92,60 @@ func TestPoolStatsSerialPool(t *testing.T) {
 	}
 	if s := p.Stats(); s.Tasks != 0 || s.Inline != 5 || s.MaxDepth != 1 {
 		t.Fatalf("serial pool stats = %+v, want Tasks=0 Inline=5 MaxDepth=1", s)
+	}
+	if s := p.Stats(); s.DepthHist[1] != 5 {
+		t.Fatalf("serial pool depth histogram = %v, want [1]=5", s.DepthHist)
+	}
+}
+
+// TestTryGoSkipsWhenSaturated pins the speculative-submission contract:
+// TryGo spawns when a slot is free and refuses — without running the
+// task — when the pool is saturated.
+func TestTryGoSkipsWhenSaturated(t *testing.T) {
+	p := New(2)
+	g := p.Group(context.Background())
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if ok := g.TryGo(func(context.Context) error {
+		close(started)
+		<-release
+		return nil
+	}); !ok {
+		t.Fatal("TryGo on an idle pool refused the task")
+	}
+	<-started
+
+	ran := false
+	if ok := g.TryGo(func(context.Context) error { ran = true; return nil }); ok {
+		t.Fatal("TryGo on a saturated pool accepted the task")
+	}
+	if ran {
+		t.Fatal("refused task ran anyway")
+	}
+
+	close(release)
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.Tasks != 1 || s.Inline != 0 {
+		t.Fatalf("stats after TryGo scenario = %+v, want Tasks=1 Inline=0", s)
+	}
+}
+
+// TestTryGoErrorCancelsGroup checks accepted TryGo tasks share the
+// group's first-error-wins and cancellation semantics with Go.
+func TestTryGoErrorCancelsGroup(t *testing.T) {
+	p := New(2)
+	g := p.Group(context.Background())
+	if ok := g.TryGo(func(context.Context) error { return context.Canceled }); !ok {
+		t.Fatal("TryGo refused on idle pool")
+	}
+	if err := g.Wait(); err != context.Canceled {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if g.Context().Err() == nil {
+		t.Fatal("group context not canceled after task error")
 	}
 }
 
@@ -114,5 +182,12 @@ func TestPoolStatsRace(t *testing.T) {
 	}
 	if s.MaxDepth < 1 || s.MaxDepth > 4+groups {
 		t.Fatalf("MaxDepth = %d out of plausible range", s.MaxDepth)
+	}
+	var hist int64
+	for _, n := range s.DepthHist {
+		hist += n
+	}
+	if hist != s.Tasks+s.Inline {
+		t.Fatalf("depth histogram sums to %d, want Tasks+Inline = %d", hist, s.Tasks+s.Inline)
 	}
 }

@@ -27,13 +27,26 @@ type Pool struct {
 	// worker, running tasks inline when no spare slot is free.
 	sem chan struct{}
 
-	// telemetry — always maintained (four atomic ops per task, well under
-	// the cost of the goroutine handoff they annotate).
+	// telemetry — always maintained (a handful of atomic ops per task,
+	// well under the cost of the goroutine handoff they annotate).
 	tasks    atomic.Int64 // tasks dispatched to spare worker goroutines
 	inline   atomic.Int64 // tasks run inline on the submitter (pool full)
 	depth    atomic.Int64 // tasks currently executing (gauge)
 	maxDepth atomic.Int64 // high-water mark of depth
+
+	// depthHist[d] counts tasks that STARTED executing while d tasks
+	// (including themselves) were executing. Recording at task start —
+	// not at enqueue — is what makes the histogram reflect the true
+	// concurrency of nested intra-problem forks: a task queued behind a
+	// busy pool is sampled when it actually runs. Depths beyond the last
+	// bucket fold into it.
+	depthHist [DepthBuckets]atomic.Int64
 }
+
+// DepthBuckets is the size of the pool-depth histogram: one bucket per
+// exact concurrency level 0..DepthBuckets-2, the last bucket collecting
+// everything deeper.
+const DepthBuckets = 16
 
 // PoolStats is a snapshot of a pool's scheduling counters.
 type PoolStats struct {
@@ -41,23 +54,36 @@ type PoolStats struct {
 	Inline   int64 // tasks run inline because no slot was free
 	Depth    int64 // tasks executing at snapshot time (queue-depth gauge)
 	MaxDepth int64 // most tasks ever executing at once
+
+	// DepthHist[d] counts task starts observed at concurrency d (the
+	// starting task included); the last bucket folds deeper levels in.
+	DepthHist [DepthBuckets]int64
 }
 
 // Stats snapshots the pool's counters. Safe to call concurrently with
 // task submission; Depth is momentary, the rest are monotonic.
 func (p *Pool) Stats() PoolStats {
-	return PoolStats{
+	s := PoolStats{
 		Tasks:    p.tasks.Load(),
 		Inline:   p.inline.Load(),
 		Depth:    p.depth.Load(),
 		MaxDepth: p.maxDepth.Load(),
 	}
+	for i := range p.depthHist {
+		s.DepthHist[i] = p.depthHist[i].Load()
+	}
+	return s
 }
 
 // enter marks a task as executing and maintains the depth high-water
-// mark; exit undoes it.
+// mark and the start-depth histogram; exit undoes the gauge.
 func (p *Pool) enter() {
 	d := p.depth.Add(1)
+	h := d
+	if h >= DepthBuckets {
+		h = DepthBuckets - 1
+	}
+	p.depthHist[h].Add(1)
 	for {
 		m := p.maxDepth.Load()
 		if d <= m || p.maxDepth.CompareAndSwap(m, d) {
@@ -81,6 +107,13 @@ func New(workers int) *Pool {
 
 // Workers returns the concurrency bound the pool was built with.
 func (p *Pool) Workers() int { return cap(p.sem) + 1 }
+
+// SpareSlots reports how many spare worker slots are free at this
+// instant. The value is a momentary hint — it can be stale by the time
+// the caller acts on it — but it is cheap enough to poll inside a
+// recursion to decide whether forking a branch could actually buy
+// concurrency right now.
+func (p *Pool) SpareSlots() int { return cap(p.sem) - len(p.sem) }
 
 // Group is a fork/join scope over a pool: tasks submitted with Go run
 // concurrently (bounded by the pool), Wait joins them, and the first
@@ -133,6 +166,33 @@ func (g *Group) Go(fn func(ctx context.Context) error) {
 		g.pool.enter()
 		g.record(fn(g.ctx))
 		g.pool.exit()
+	}
+}
+
+// TryGo submits a task only if a spare worker slot is free, returning
+// whether the task was accepted. Unlike Go it NEVER runs the task inline:
+// speculative work (running ahead of a decision that may discard it) is
+// pure overhead when it serializes onto the submitter, so a saturated
+// pool should skip it rather than absorb it. Accepted tasks behave
+// exactly like Go's spawned tasks (counted, joined by Wait, first error
+// wins).
+func (g *Group) TryGo(fn func(ctx context.Context) error) bool {
+	select {
+	case g.pool.sem <- struct{}{}:
+		g.pool.tasks.Add(1)
+		g.wg.Add(1)
+		go func() {
+			g.pool.enter()
+			defer func() {
+				g.pool.exit()
+				<-g.pool.sem
+				g.wg.Done()
+			}()
+			g.record(fn(g.ctx))
+		}()
+		return true
+	default:
+		return false
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 
 	"nova/internal/baseline"
 	"nova/internal/constraint"
+	"nova/internal/cube"
 	"nova/internal/encode"
 	"nova/internal/encoding"
 	"nova/internal/espresso"
@@ -146,6 +147,25 @@ type Options struct {
 	// joined by variable index — so scheduling order never leaks into the
 	// result, only into wall-clock time.
 	Parallelism int
+	// IntraParallelism, when at least 2, additionally parallelizes the
+	// inside of one encoding problem: the cofactor branches of the
+	// tautology/complement unate recursion in the minimizer fork onto the
+	// run's pool (for sub-covers of at least IntraForkCubes cubes), and
+	// the encoding searches speculate ahead — iexact fans the primary
+	// level vectors of a dimension out under a shared best-index bound,
+	// ihybrid/iohybrid speculate the next semiexact link of the greedy
+	// chain. The run pool is sized max(Parallelism, IntraParallelism).
+	//
+	// 0 or 1 (the default) keeps every problem's inside strictly serial.
+	// The determinism guarantee above extends to this knob: speculative
+	// outcomes are replayed against the serial schedule before adoption,
+	// so the Result is bit-identical for every IntraParallelism setting.
+	IntraParallelism int
+	// IntraForkCubes is the smallest cofactor cover (in cubes) whose
+	// recursion branches are forked under IntraParallelism; 0 selects
+	// the default (cube.DefaultForkCubes, 24). Smaller values expose more
+	// concurrency but pay more goroutine handoffs per unit of work.
+	IntraForkCubes int
 	// Tracer, when non-nil, records phase spans and counters for the run;
 	// the snapshot is attached to Result.Telemetry. The default (nil)
 	// records nothing and adds no allocations or measurable overhead to
@@ -161,6 +181,35 @@ func (o Options) workers() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// poolSize is the run pool's worker bound: intra-problem parallelism can
+// widen the pool beyond the coarse-grained Parallelism setting.
+func (o Options) poolSize() int {
+	w := o.workers()
+	if o.IntraParallelism > w {
+		w = o.IntraParallelism
+	}
+	return w
+}
+
+// engine bundles the concurrency machinery of one run (or one EncodeAll
+// batch): the bounded pool every fan-out shares, plus — when
+// IntraParallelism is on — the unate-recursion fork and the search
+// speculation handle backed by the same pool.
+type engine struct {
+	pool *sched.Pool
+	fork *cube.Fork
+	fan  encode.Fanout
+}
+
+func newEngine(opt Options) *engine {
+	eng := &engine{pool: sched.New(opt.poolSize())}
+	if opt.IntraParallelism >= 2 {
+		eng.fork = cube.NewFork(eng.pool, opt.IntraForkCubes)
+		eng.fan = encode.Fanout{Pool: eng.pool}
+	}
+	return eng
 }
 
 // Result reports an encoding and its two-level cost.
@@ -233,7 +282,7 @@ func Encode(f *FSM, opt Options) (*Result, error) {
 // bounded worker pool of Options.Parallelism goroutines; see that field
 // for the determinism guarantee.
 func EncodeContext(ctx context.Context, f *FSM, opt Options) (*Result, error) {
-	return encodeRun(ctx, sched.New(opt.workers()), f, opt)
+	return encodeRun(ctx, newEngine(opt), f, opt)
 }
 
 // encodeRun wraps one complete run in its telemetry envelope: the tracer
@@ -242,10 +291,10 @@ func EncodeContext(ctx context.Context, f *FSM, opt Options) (*Result, error) {
 // scheduling counters are recorded, and the snapshot is attached to the
 // Result — including the partial Result of an ErrGaveUp run. Without a
 // tracer this is exactly encodeWith.
-func encodeRun(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
+func encodeRun(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, error) {
 	t := opt.Tracer
 	if t == nil {
-		return encodeWith(ctx, pool, f, opt)
+		return encodeWith(ctx, eng, f, opt)
 	}
 	alg := opt.Algorithm
 	if alg == "" {
@@ -255,7 +304,7 @@ func encodeRun(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Res
 	sctx, sp := obs.Span(ctx, "nova.encode")
 	sp.SetStr("machine", f.Name)
 	sp.SetStr("algorithm", string(alg))
-	res, err := encodeWith(sctx, pool, f, opt)
+	res, err := encodeWith(sctx, eng, f, opt)
 	outcome := outcomeOf(err)
 	sp.SetStr("outcome", outcome)
 	if res != nil {
@@ -265,7 +314,8 @@ func encodeRun(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Res
 	sp.End()
 	m := t.Metrics()
 	m.Add("algo."+outcome+"."+string(alg), 1)
-	flushPoolStats(m, pool)
+	flushPoolStats(m, eng.pool)
+	flushForkStats(m, eng.fork)
 	if res != nil {
 		res.Telemetry = t.Snapshot()
 	}
@@ -274,7 +324,7 @@ func encodeRun(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Res
 
 // encodeWith is the engine behind EncodeContext and EncodeAll: every
 // fan-out of one run (or one batch) shares the same bounded pool.
-func encodeWith(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
+func encodeWith(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, error) {
 	if opt.Algorithm == "" {
 		opt.Algorithm = Best
 	}
@@ -283,9 +333,9 @@ func encodeWith(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Re
 	}
 	switch opt.Algorithm {
 	case Best:
-		return encodeBest(ctx, pool, f, opt)
+		return encodeBest(ctx, eng, f, opt)
 	case Random:
-		return encodeRandom(ctx, pool, f, opt)
+		return encodeRandom(ctx, eng, f, opt)
 	case OneHot, MustangP, MustangN, MustangPT, MustangNT:
 		res := &Result{Algorithm: opt.Algorithm}
 		if opt.Algorithm == OneHot {
@@ -293,38 +343,39 @@ func encodeWith(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Re
 		} else {
 			res.Assignment = baseline.MustangAssignment(f, mustangVariant(opt.Algorithm))
 		}
-		return finishEncode(ctx, f, res, opt)
+		return finishEncode(ctx, eng, f, res, opt)
 	case IOHybrid, IOVariant:
-		return encodeIO(ctx, pool, f, opt)
+		return encodeIO(ctx, eng, f, opt)
 	case IExact, IHybrid, IGreedy, KISS:
-		return encodeInput(ctx, pool, f, opt)
+		return encodeInput(ctx, eng, f, opt)
 	default:
 		return nil, fmt.Errorf("nova: unknown algorithm %q", opt.Algorithm)
 	}
 }
 
 // minOpt / hybOpt derive the espresso and backtracking options of one
-// task from its (group) context.
-func minOpt(ctx context.Context, opt Options) espresso.Options {
-	return espresso.Options{SkipReduce: opt.FastMinimize, Ctx: ctx}
+// task from its (group) context and the run engine's intra-problem
+// parallelism handles.
+func (eng *engine) minOpt(ctx context.Context, opt Options) espresso.Options {
+	return espresso.Options{SkipReduce: opt.FastMinimize, Ctx: ctx, Fork: eng.fork}
 }
 
-func hybOpt(ctx context.Context, opt Options) encode.HybridOptions {
-	return encode.HybridOptions{MaxWork: opt.MaxWork, Seed: opt.Seed, Ctx: ctx}
+func (eng *engine) hybOpt(ctx context.Context, opt Options) encode.HybridOptions {
+	return encode.HybridOptions{MaxWork: opt.MaxWork, Seed: opt.Seed, Ctx: ctx, Fanout: eng.fan}
 }
 
 // encodeBest fans the three candidate algorithms of "best of NOVA" out
 // over the pool and joins deterministically: smallest area wins, ties
 // resolved by the fixed candidate order, exactly like the serial loop.
-func encodeBest(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
+func encodeBest(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, error) {
 	algs := []Algorithm{IHybrid, IGreedy, IOHybrid}
 	results := make([]*Result, len(algs))
-	g := pool.Group(ctx)
+	g := eng.pool.Group(ctx)
 	for i, alg := range algs {
 		g.Go(func(ctx context.Context) error {
 			o := opt
 			o.Algorithm = alg
-			r, err := encodeWith(ctx, pool, f, o)
+			r, err := encodeWith(ctx, eng, f, o)
 			if err != nil {
 				return err
 			}
@@ -349,7 +400,7 @@ func encodeBest(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Re
 // drawn from sched.SplitSeed(opt.Seed, t), so the batch is bit-identical
 // to a serial run regardless of completion order; the join picks the
 // smallest area, ties resolved by the lowest trial index.
-func encodeRandom(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
+func encodeRandom(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, error) {
 	trials := opt.RandomTrials
 	if trials <= 0 {
 		trials = baseline.DefaultRandomTrials(f)
@@ -359,11 +410,11 @@ func encodeRandom(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*
 		m   mvmin.Metrics
 	}
 	out := make([]trial, trials)
-	g := pool.Group(ctx)
+	g := eng.pool.Group(ctx)
 	for t := 0; t < trials; t++ {
 		g.Go(func(ctx context.Context) error {
 			asg := baseline.RandomAssignment(f, sched.SplitSeed(opt.Seed, t))
-			m, err := mvmin.Measure(f, asg, minOpt(ctx, opt))
+			m, err := mvmin.Measure(f, asg, eng.minOpt(ctx, opt))
 			if err != nil {
 				return fmt.Errorf("nova: random trial %d: %w", t, errors.Join(ErrUnencodable, err))
 			}
@@ -386,15 +437,15 @@ func encodeRandom(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*
 		}
 	}
 	best.RandomAvgArea = sum / trials
-	return finishEncode(ctx, f, best, opt)
+	return finishEncode(ctx, eng, f, best, opt)
 }
 
 // encodeIO runs iohybrid_code / iovariant_code: symbolic minimization,
 // then the state-variable embedding and the per-symbolic-input encodes
 // fanned out over the pool (joined by variable index).
-func encodeIO(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
+func encodeIO(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, error) {
 	res := &Result{Algorithm: opt.Algorithm}
-	out, aerr := symbolic.Analyze(f, symbolic.Options{Min: minOpt(ctx, opt)})
+	out, aerr := symbolic.Analyze(f, symbolic.Options{Min: eng.minOpt(ctx, opt)})
 	if aerr != nil {
 		return nil, aerr
 	}
@@ -403,14 +454,14 @@ func encodeIO(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Resu
 	}
 	var r encode.Result
 	symRes := make([]encode.Result, len(f.SymIns))
-	g := pool.Group(ctx)
+	g := eng.pool.Group(ctx)
 	g.Go(func(ctx context.Context) error {
 		sctx, sp := obs.Span(ctx, "search."+string(opt.Algorithm))
 		defer sp.End()
 		if opt.Algorithm == IOHybrid {
-			r = encode.IOHybrid(out.Problem, opt.Bits, hybOpt(sctx, opt))
+			r = encode.IOHybrid(out.Problem, opt.Bits, eng.hybOpt(sctx, opt))
 		} else {
-			r = encode.IOVariant(out.Problem, opt.Bits, hybOpt(sctx, opt))
+			r = encode.IOVariant(out.Problem, opt.Bits, eng.hybOpt(sctx, opt))
 		}
 		if r.Err != nil {
 			return fmt.Errorf("nova: %s: state variable: %w", opt.Algorithm, canceledErr(r.Err))
@@ -421,7 +472,7 @@ func encodeIO(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Resu
 		g.Go(func(ctx context.Context) error {
 			sctx, sp := obs.Span(ctx, "search.symin")
 			defer sp.End()
-			sr := encode.IHybrid(len(f.SymIns[vi].Values), out.SymIns[vi], 0, hybOpt(sctx, opt))
+			sr := encode.IHybrid(len(f.SymIns[vi].Values), out.SymIns[vi], 0, eng.hybOpt(sctx, opt))
 			if sr.Err != nil {
 				return fmt.Errorf("nova: %s: symbolic input %s: %w", opt.Algorithm, f.SymIns[vi].Name, canceledErr(sr.Err))
 			}
@@ -438,22 +489,22 @@ func encodeIO(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Resu
 	for _, sr := range symRes {
 		res.Assignment.SymIns = append(res.Assignment.SymIns, sr.Enc)
 	}
-	return finishEncode(ctx, f, res, opt)
+	return finishEncode(ctx, eng, f, res, opt)
 }
 
 // encodeInput runs the input-constraint algorithms (iexact, ihybrid,
 // igreedy, KISS-style): one multiple-valued minimization derives the
 // constraints, then the state-variable encode and the per-symbolic-input
 // encodes fan out over the pool (joined by variable index).
-func encodeInput(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*Result, error) {
+func encodeInput(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, error) {
 	res := &Result{Algorithm: opt.Algorithm}
 	_, bsp := obs.Span(ctx, "mvmin.build")
-	p, berr := mvmin.Build(f)
+	p, berr := mvmin.BuildWithFork(f, ctx, eng.fork)
 	bsp.End()
 	if berr != nil {
 		return nil, berr
 	}
-	min := p.Minimize(minOpt(ctx, opt))
+	min := p.Minimize(eng.minOpt(ctx, opt))
 	_, csp := obs.Span(ctx, "mvmin.constraints")
 	cs := p.Constraints(min)
 	csp.End()
@@ -462,20 +513,20 @@ func encodeInput(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*R
 	}
 	var r encode.Result
 	symRes := make([]encode.Result, len(f.SymIns))
-	g := pool.Group(ctx)
+	g := eng.pool.Group(ctx)
 	g.Go(func(ctx context.Context) error {
 		sctx, sp := obs.Span(ctx, "search."+string(opt.Algorithm))
 		defer sp.End()
 		switch opt.Algorithm {
 		case IExact:
-			r = encode.IExact(f.NumStates(), cs.States, encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx})
+			r = encode.IExact(f.NumStates(), cs.States, encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx, Fanout: eng.fan})
 			if r.Err == nil && r.GaveUp {
 				// The deprecated Result.GaveUp flag is set in one place
 				// only: the ErrGaveUp branch after g.Wait below.
 				return fmt.Errorf("nova: %s: state variable: %w", opt.Algorithm, ErrGaveUp)
 			}
 		case IHybrid:
-			r = encode.IHybrid(f.NumStates(), cs.States, opt.Bits, hybOpt(sctx, opt))
+			r = encode.IHybrid(f.NumStates(), cs.States, opt.Bits, eng.hybOpt(sctx, opt))
 		case IGreedy:
 			r = encode.IGreedy(f.NumStates(), cs.States, opt.Bits)
 		case KISS:
@@ -494,16 +545,16 @@ func encodeInput(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*R
 			var sr encode.Result
 			switch opt.Algorithm {
 			case IExact:
-				sr = encode.IExact(n, cs.SymIns[vi], encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx})
+				sr = encode.IExact(n, cs.SymIns[vi], encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx, Fanout: eng.fan})
 				if sr.Err == nil && sr.GaveUp {
-					sr = encode.IHybrid(n, cs.SymIns[vi], 0, hybOpt(sctx, opt))
+					sr = encode.IHybrid(n, cs.SymIns[vi], 0, eng.hybOpt(sctx, opt))
 				}
 			case KISS:
 				sr = encode.SatisfyAll(n, cs.SymIns[vi])
 			case IGreedy:
 				sr = encode.IGreedy(n, cs.SymIns[vi], 0)
 			default:
-				sr = encode.IHybrid(n, cs.SymIns[vi], 0, hybOpt(sctx, opt))
+				sr = encode.IHybrid(n, cs.SymIns[vi], 0, eng.hybOpt(sctx, opt))
 			}
 			if sr.Err != nil {
 				return fmt.Errorf("nova: %s: symbolic input %s: %w", opt.Algorithm, f.SymIns[vi].Name, canceledErr(sr.Err))
@@ -527,16 +578,16 @@ func encodeInput(ctx context.Context, pool *sched.Pool, f *FSM, opt Options) (*R
 	for _, sr := range symRes {
 		res.Assignment.SymIns = append(res.Assignment.SymIns, sr.Enc)
 	}
-	return finishEncode(ctx, f, res, opt)
+	return finishEncode(ctx, eng, f, res, opt)
 }
 
 // finishEncode completes a run whose assignment is chosen: symbolic
 // outputs are filled in, the encoded machine is minimized and measured.
-func finishEncode(ctx context.Context, f *FSM, res *Result, opt Options) (*Result, error) {
+func finishEncode(ctx context.Context, eng *engine, f *FSM, res *Result, opt Options) (*Result, error) {
 	sctx, sp := obs.Span(ctx, "nova.finish")
 	defer sp.End()
 	ctx = sctx
-	mopt := minOpt(ctx, opt)
+	mopt := eng.minOpt(ctx, opt)
 	if err := fillSymbolicOutputs(f, res, mopt); err != nil {
 		return nil, err
 	}
