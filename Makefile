@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench
+.PHONY: all build test vet race verify bench smoke
 
 all: verify
 
@@ -23,3 +23,8 @@ verify: vet build test race
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x .
+
+# End-to-end smoke of the novad serving layer: cache replay is
+# byte-identical, counters move, SIGTERM drains.
+smoke:
+	bash scripts/server_smoke.sh

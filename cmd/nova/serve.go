@@ -1,0 +1,34 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"nova/internal/obs"
+	"nova/internal/serve"
+)
+
+// serveMain is the -serve passthrough: the serving layer with default
+// settings on one address. The novad daemon exposes the full knob set
+// (cache budget, admission bound, deadlines, drain grace).
+func serveMain(ctx context.Context, addr string) int {
+	s := serve.New(serve.Config{})
+	obs.PublishExpvar("nova", s.Tracer())
+	httpSrv := &http.Server{Addr: addr, Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		<-ctx.Done()
+		s.Drain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain on ^C
+	}()
+	fmt.Fprintf(os.Stderr, "nova: serving on %s (use novad for capacity knobs)\n", addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return fail(err)
+	}
+	return 0
+}

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"time"
 
+	"nova"
 	"nova/internal/experiments"
 )
 
@@ -35,6 +36,10 @@ type benchSnapshot struct {
 	IntraWorkers int          `json:"intra_workers"`
 	Note         string       `json:"note"`
 	Tables       []tableBench `json:"tables"`
+	// Results carries the encode outcomes of the measured sweep through
+	// the wire-stable nova.Response schema — the same serialization the
+	// novad server emits, so downstream tooling parses one format.
+	Results []nova.Response `json:"results"`
 }
 
 // measure runs fn once and reports its wall time and allocation count.
@@ -55,10 +60,15 @@ func measure(fn func() error) (ns int64, allocs uint64, err error) {
 }
 
 // regenerate runs one table on a fresh runner (fresh result cache: the
-// measurement must redo the encodes, not read memoized results).
-func regenerate(opts experiments.RunOpts, table int) func() error {
+// measurement must redo the encodes, not read memoized results). The
+// runner is parked in *keep, so the caller can serialize its memoized
+// results after the measurement.
+func regenerate(opts experiments.RunOpts, table int, keep **experiments.Runner) func() error {
 	return func() error {
 		r := experiments.NewRunner(opts)
+		if keep != nil {
+			*keep = r
+		}
 		var err error
 		switch table {
 		case 2:
@@ -72,6 +82,27 @@ func regenerate(opts experiments.RunOpts, table int) func() error {
 		}
 		return err
 	}
+}
+
+// wireResults renders every memoized encode of the runner through the
+// wire-stable Response type, in suite order with a fixed algorithm
+// order, so the snapshot is deterministic.
+func wireResults(opts experiments.RunOpts, r *experiments.Runner) []nova.Response {
+	if r == nil {
+		return nil
+	}
+	algs := []nova.Algorithm{nova.IExact, nova.IHybrid, nova.IGreedy, nova.IOHybrid}
+	var out []nova.Response
+	for _, f := range opts.Machines() {
+		for _, alg := range algs {
+			res := r.Memoized(f.Name, alg, 0)
+			if res == nil {
+				continue
+			}
+			out = append(out, *nova.ResponseOf(f, res))
+		}
+	}
+	return out
 }
 
 // writeBenchJSON measures tables II, IV and VI serially and with
@@ -94,12 +125,24 @@ func writeBenchJSON(opts experiments.RunOpts, intraWorkers int) (string, error) 
 	serialOpts.Intra = 0
 	intraOpts := opts
 	intraOpts.Intra = intraWorkers
+	seen := make(map[string]bool)
 	for _, table := range []int{2, 4, 6} {
-		sNs, sAllocs, err := measure(regenerate(serialOpts, table))
+		var runner *experiments.Runner
+		sNs, sAllocs, err := measure(regenerate(serialOpts, table, &runner))
 		if err != nil {
 			return "", fmt.Errorf("table %d serial: %w", table, err)
 		}
-		iNs, iAllocs, err := measure(regenerate(intraOpts, table))
+		// Tables share machines; keep the first Response per
+		// machine/algorithm pair so the snapshot has no duplicates.
+		for _, resp := range wireResults(serialOpts, runner) {
+			key := resp.Machine + "/" + string(resp.Algorithm)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			snap.Results = append(snap.Results, resp)
+		}
+		iNs, iAllocs, err := measure(regenerate(intraOpts, table, nil))
 		if err != nil {
 			return "", fmt.Errorf("table %d intra: %w", table, err)
 		}

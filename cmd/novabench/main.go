@@ -145,8 +145,9 @@ func realMain() int {
 
 	// Fill the result cache through the concurrent batch API: the tables
 	// below then mostly read memoized results. iexact is left to the
-	// per-table path because its give-up on the hardest machines would
-	// abort a batch; the tables render it as a "-" entry instead.
+	// per-table path: a give-up there is just a per-machine entry in the
+	// joined batch error, but the tables want their own budgeted runs and
+	// render a "-" entry for machines that still give up.
 	if *table != 1 {
 		prewarm := []nova.Algorithm{nova.IHybrid, nova.IGreedy, nova.IOHybrid, nova.KISS, nova.Random}
 		if err := r.Prewarm(ctx, prewarm...); err != nil {

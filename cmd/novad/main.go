@@ -1,0 +1,118 @@
+// Command novad serves NOVA encodings over HTTP/JSON with
+// content-addressed result caching.
+//
+// Usage:
+//
+//	novad [-addr :8089] [-cache-mb 64] [-max-inflight N] [-queue-wait 100ms]
+//	      [-timeout 30s] [-max-timeout 2m] [-parallel 1] [-intra 0]
+//	      [-grace 30s] [-v]
+//
+// Endpoints, cache semantics and capacity knobs are documented in
+// docs/SERVING.md. On SIGTERM (or SIGINT) the daemon drains gracefully:
+// it stops accepting work (healthz reports 503 so load balancers fall
+// away), finishes the in-flight requests within the -grace budget, then
+// prints a final telemetry snapshot to stderr and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"nova/internal/obs"
+	"nova/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8089", "listen address")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently served requests (0 = GOMAXPROCS)")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "how long a request may wait for an admission slot before 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline (override per request with ?timeout=)")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on the client-requested ?timeout=")
+	parallel := flag.Int("parallel", 1, "worker goroutines per encode (1 = serial per request; admission owns the machine)")
+	intra := flag.Int("intra", 0, "intra-problem parallelism per encode (0/1 = off)")
+	grace := flag.Duration("grace", 30*time.Second, "drain budget for in-flight requests on SIGTERM")
+	verbose := flag.Bool("v", false, "log every failed request and print the final counter report")
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	tracer := obs.New()
+	cfg := serve.Config{
+		CacheBytes:     *cacheMB << 20,
+		MaxInflight:    *maxInflight,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Parallelism:    *parallel,
+		Intra:          *intra,
+		Tracer:         tracer,
+	}
+	if *verbose {
+		cfg.Logger = logger
+	}
+	s := serve.New(cfg)
+	obs.PublishExpvar("nova", tracer)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGTERM/SIGINT: stop accepting, finish in-flight, flush telemetry.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		logger.Info("draining", "grace", *grace)
+		s.Drain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		done <- httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	logger.Info("novad listening", "addr", *addr,
+		"max_inflight", cfg.MaxInflight, "cache_mb", *cacheMB)
+	err := httpSrv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve failed", "err", err)
+		return 1
+	}
+	if err := <-done; err != nil {
+		logger.Error("drain incomplete", "err", err)
+	}
+	flushSnapshot(s, *verbose)
+	logger.Info("drained; exiting")
+	return 0
+}
+
+// flushSnapshot prints the final counter set to stderr so an operator
+// (or the CI smoke job) sees what the process did before it exited.
+func flushSnapshot(s *serve.Server, verbose bool) {
+	vars := s.Vars()
+	keys := make([]string, 0, len(vars))
+	for k := range vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(os.Stderr, "final telemetry snapshot:")
+	for _, k := range keys {
+		if verbose || vars[k] != 0 {
+			fmt.Fprintf(os.Stderr, "  %-32s %d\n", k, vars[k])
+		}
+	}
+}

@@ -22,6 +22,12 @@ var (
 	// finished. The underlying context error (context.Canceled or
 	// context.DeadlineExceeded) is joined in, so errors.Is matches both.
 	ErrCanceled = errors.New("nova: encoding canceled")
+
+	// ErrBadOptions reports an Options value (or a wire Request) that no
+	// run could honor — an unknown algorithm, an out-of-range encoding
+	// length, a negative budget. It is returned by Options.Validate and,
+	// wrapped, by every public entry point before any work starts.
+	ErrBadOptions = errors.New("nova: bad options")
 )
 
 // canceledErr wraps a context error so that both nova.ErrCanceled and the

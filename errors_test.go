@@ -23,15 +23,17 @@ func TestCanceledErrMatchesBothSentinels(t *testing.T) {
 	}
 }
 
-// TestWorkersDefaults pins Options.Parallelism resolution.
+// TestWorkersDefaults pins Options.Parallelism resolution through
+// withDefaults (negative values are rejected by Validate before any
+// fixup; see TestOptionsValidate).
 func TestWorkersDefaults(t *testing.T) {
-	if w := (Options{Parallelism: 3}).workers(); w != 3 {
-		t.Fatalf("workers() = %d, want 3", w)
+	if w := (Options{Parallelism: 3}).withDefaults().Parallelism; w != 3 {
+		t.Fatalf("withDefaults Parallelism = %d, want 3", w)
 	}
-	if w := (Options{}).workers(); w < 1 {
-		t.Fatalf("default workers() = %d, want >= 1", w)
+	if w := (Options{}).withDefaults().Parallelism; w < 1 {
+		t.Fatalf("default Parallelism resolved to %d, want >= 1", w)
 	}
-	if w := (Options{Parallelism: -2}).workers(); w < 1 {
-		t.Fatalf("negative Parallelism resolved to %d", w)
+	if alg := (Options{}).withDefaults().Algorithm; alg != Best {
+		t.Fatalf("default Algorithm resolved to %q, want %q", alg, Best)
 	}
 }

@@ -98,6 +98,17 @@ func (o RunOpts) tableI(list []bench.Entry) []bench.Entry {
 	return out
 }
 
+// Machines returns the benchmark machines this run covers (after the
+// SkipHuge / Only filtering), in suite order.
+func (o RunOpts) Machines() []*kiss.FSM {
+	entries := o.entries()
+	out := make([]*kiss.FSM, len(entries))
+	for i, e := range entries {
+		out[i] = e.F
+	}
+	return out
+}
+
 // Runner caches per-machine results across tables.
 type Runner struct {
 	Opts RunOpts
@@ -189,10 +200,22 @@ func (r *Runner) Run(f *kiss.FSM, alg nova.Algorithm, bits int) (*nova.Result, e
 	return res, nil
 }
 
+// Memoized returns the cached result of (machine, algorithm, bits) from
+// an earlier Run/Prewarm, or nil — the hook the machine-readable
+// reporters (novabench -json) use to serialize already-computed results
+// through the wire types without re-encoding.
+func (r *Runner) Memoized(name string, alg nova.Algorithm, bits int) *nova.Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.memo[fmt.Sprintf("%s/%s/%d", name, alg, bits)]
+}
+
 // Prewarm encodes every benchmark machine of the run with each of the
 // given algorithms through the batch API, filling the cache so the table
-// builders afterwards only read memoized results. Algorithms whose
-// give-up would abort a batch (iexact) should be left to Run.
+// builders afterwards only read memoized results. Per-machine failures
+// (EncodeAll's partial-results contract: a gave-up or unencodable
+// machine) leave that machine to the per-table path; only cancellation
+// aborts the prewarm.
 func (r *Runner) Prewarm(ctx context.Context, algs ...nova.Algorithm) error {
 	entries := r.Opts.entries()
 	if r.observing() {
@@ -218,12 +241,14 @@ func (r *Runner) Prewarm(ctx context.Context, algs ...nova.Algorithm) error {
 		opt := r.Opts.novaOptions(alg, 0)
 		opt.Parallelism = r.Opts.Parallel
 		results, err := nova.EncodeAll(ctx, fsms, opt)
-		if err != nil {
+		if err != nil && errors.Is(err, nova.ErrCanceled) {
 			return err
 		}
 		r.mu.Lock()
 		for i, res := range results {
-			r.memo[fmt.Sprintf("%s/%s/%d", fsms[i].Name, alg, 0)] = res
+			if res != nil {
+				r.memo[fmt.Sprintf("%s/%s/%d", fsms[i].Name, alg, 0)] = res
+			}
 		}
 		r.mu.Unlock()
 	}

@@ -75,6 +75,13 @@ func (m *Metrics) Max(name string, v int64) {
 	m.mu.Unlock()
 }
 
+// ObserveDur records d into the named log2-bucketed histogram in
+// microseconds — the convention for the per-endpoint latency histograms
+// of the serving layer ("http.latency.<endpoint>").
+func (m *Metrics) ObserveDur(name string, d time.Duration) {
+	m.Observe(name, d.Microseconds())
+}
+
 // Observe records v into the named log2-bucketed histogram.
 func (m *Metrics) Observe(name string, v int64) {
 	if m == nil {
@@ -145,6 +152,25 @@ func (m *Metrics) Counters() map[string]int64 {
 	m.mu.Lock()
 	for k, v := range m.named {
 		put(k, v)
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// Vars returns every counter plus a flat summary of every histogram
+// (<name>.count / .sum / .max), the form the serving layer exposes under
+// /debug/vars. Counters() stays histogram-free so run reports keep their
+// shape.
+func (m *Metrics) Vars() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	out := m.Counters()
+	m.mu.Lock()
+	for k, h := range m.hists {
+		out[k+".count"] = h.Count
+		out[k+".sum"] = h.Sum
+		out[k+".max"] = h.MaxV
 	}
 	m.mu.Unlock()
 	return out

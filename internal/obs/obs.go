@@ -276,24 +276,33 @@ func (lw *lockedWriter) Write(p []byte) (int, error) {
 func LockedWriter(w io.Writer) io.Writer { return &lockedWriter{w: w} }
 
 // expvar publication — duplicate names panic in expvar, so the registry
-// below makes PublishExpvar idempotent per name.
+// below makes PublishExpvar idempotent per name and rebindable: the
+// published Func reads the registry on every call, so re-publishing a
+// name really does switch /debug/vars to the new tracer.
 var (
 	expvarMu  sync.Mutex
-	published = map[string]bool{}
+	published = map[string]*Tracer{}
 )
 
-// PublishExpvar exposes the tracer's counters under the given expvar
-// name (for processes that serve /debug/vars). Publishing the same name
-// twice rebinds it to the new tracer instead of panicking.
+// PublishExpvar exposes the tracer's counters and histogram summaries
+// under the given expvar name (for processes that serve /debug/vars).
+// Publishing the same name twice rebinds it to the new tracer instead of
+// panicking.
 func PublishExpvar(name string, t *Tracer) {
 	expvarMu.Lock()
 	defer expvarMu.Unlock()
-	cur := t // rebindable target
-	if published[name] {
+	_, again := published[name]
+	published[name] = t
+	if again {
 		return
 	}
-	published[name] = true
 	expvar.Publish(name, expvar.Func(func() any {
-		return cur.m.Counters()
+		expvarMu.Lock()
+		cur := published[name]
+		expvarMu.Unlock()
+		if cur == nil {
+			return map[string]int64{}
+		}
+		return cur.m.Vars()
 	}))
 }

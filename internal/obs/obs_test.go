@@ -95,7 +95,9 @@ func TestNoTracerIsFree(t *testing.T) {
 			t.Fatal("ctx changed without tracer")
 		}
 	})
-	if allocs != 0 {
+	// Alloc counts are noise under the race detector (its runtime
+	// allocates on its own schedule); the non-race runs enforce this.
+	if allocs != 0 && !raceEnabled {
 		t.Fatalf("no-op Span allocates %v/op, want 0", allocs)
 	}
 	// nil ctx and nil receivers must not panic.

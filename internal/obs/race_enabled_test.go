@@ -1,0 +1,9 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the test binary was built with the race
+// detector. AllocsPerRun counts are noise there (the race runtime
+// allocates on its own schedule), so the zero-alloc guard skips itself;
+// the non-race runs keep it enforced.
+const raceEnabled = true

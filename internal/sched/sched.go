@@ -94,6 +94,22 @@ func (p *Pool) enter() {
 
 func (p *Pool) exit() { p.depth.Add(-1) }
 
+// PoolSize resolves the worker bound of one run's pool from the two
+// public knobs: the coarse-grained parallelism (0 selects
+// runtime.GOMAXPROCS(0)) widened by the intra-problem setting when that
+// is larger. It is the single sizing rule shared by the library entry
+// points and the serving layer, so server capacity planning and
+// intra-parallel forks agree on how many workers a run may occupy.
+func PoolSize(parallelism, intra int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if intra > parallelism {
+		parallelism = intra
+	}
+	return parallelism
+}
+
 // New returns a pool executing at most workers tasks concurrently.
 // workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 yields a pool
 // that runs every task inline on the submitting goroutine, reproducing

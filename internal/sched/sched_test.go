@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -152,5 +153,25 @@ func TestSplitSeedDeterministicAndDistinct(t *testing.T) {
 	}
 	if SplitSeed(1, 0) == SplitSeed(2, 0) {
 		t.Fatal("different base seeds produced the same child")
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	if got := PoolSize(3, 0); got != 3 {
+		t.Fatalf("PoolSize(3, 0) = %d, want 3", got)
+	}
+	if got := PoolSize(0, 0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("PoolSize(0, 0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	// Intra-problem forks widen the pool so one problem's forks cannot
+	// starve the batch workers.
+	if got := PoolSize(2, 8); got != 8 {
+		t.Fatalf("PoolSize(2, 8) = %d, want 8", got)
+	}
+	if got := PoolSize(8, 2); got != 8 {
+		t.Fatalf("PoolSize(8, 2) = %d, want 8", got)
+	}
+	if got := PoolSize(-1, 0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("PoolSize(-1, 0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
 	}
 }

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"nova"
+)
+
+// flights collapses concurrent identical requests: the first caller for
+// a key becomes the leader and runs fn; every other caller blocks on the
+// leader's completion and shares its bytes. Two wrinkles distinguish it
+// from the textbook singleflight:
+//
+//   - A follower whose own context dies stops waiting immediately (the
+//     leader keeps running for the others).
+//   - A leader that fails with nova.ErrCanceled (its client hung up or
+//     its deadline fired) must not poison the followers: each live
+//     follower retries, and the first one through the lock becomes the
+//     new leader.
+type flights struct {
+	mu sync.Mutex
+	m  map[string]*flight
+
+	// shared counts follower joins (for the singleflight metrics).
+	shared int64
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers. It returns fn's
+// bytes, whether this caller shared another caller's run, and the error.
+func (fs *flights) Do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, bool, error) {
+	joined := false
+	for {
+		fs.mu.Lock()
+		if fs.m == nil {
+			fs.m = make(map[string]*flight)
+		}
+		if fl, ok := fs.m[key]; ok {
+			fs.shared++
+			fs.mu.Unlock()
+			joined = true
+			select {
+			case <-fl.done:
+				if fl.err != nil && errors.Is(fl.err, nova.ErrCanceled) && ctx.Err() == nil {
+					continue // leader canceled but we are alive: take over
+				}
+				return fl.val, true, fl.err
+			case <-ctx.Done():
+				return nil, true, ctx.Err()
+			}
+		}
+		fl := &flight{done: make(chan struct{})}
+		fs.m[key] = fl
+		fs.mu.Unlock()
+		fl.val, fl.err = fn()
+		fs.mu.Lock()
+		delete(fs.m, key)
+		fs.mu.Unlock()
+		close(fl.done)
+		return fl.val, joined, fl.err
+	}
+}
+
+// Shared reports how many calls joined another caller's flight so far.
+func (fs *flights) Shared() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.shared
+}

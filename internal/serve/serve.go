@@ -1,0 +1,519 @@
+// Package serve is the network serving layer of the reproduction: an
+// HTTP/JSON front end over the concurrent encoding engine, designed for
+// heavy repeated traffic.
+//
+//	POST /v1/encode        one machine     (nova.Request  -> nova.Response)
+//	POST /v1/encode/batch  many machines   (BatchRequest  -> BatchResponse)
+//	POST /v1/verify        check a code    (nova.VerifyRequest -> nova.VerifyResponse)
+//	GET  /v1/healthz       liveness / drain state
+//	GET  /debug/vars       counters, cache and latency metrics (expvar-style JSON)
+//	GET  /debug/pprof/     runtime profiles
+//
+// Three mechanisms make the layer production-shaped:
+//
+//  1. Content-addressed result caching. NOVA encodings are pure
+//     functions of the KISS2 source and the result-determining options,
+//     so responses are cached under nova.Request.CacheKey (a SHA-256 of
+//     the canonical machine text and normalized options) in a sharded,
+//     byte-bounded LRU; repeated requests are served byte-identical
+//     without a second engine run, and concurrent identical requests
+//     collapse onto one run (singleflight).
+//  2. Admission control. A bounded semaphore caps concurrently served
+//     encode work; a saturated server answers 429 with Retry-After
+//     instead of queueing without bound, and every request runs under a
+//     deadline (?timeout= up to the configured cap, else the server
+//     default).
+//  3. Graceful drain. Drain flips the server into draining mode:
+//     /v1/healthz reports 503 (so load balancers stop routing), new work
+//     is refused with 503 + Retry-After, and in-flight requests finish
+//     normally (the process owner pairs this with http.Server.Shutdown).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"nova"
+	"nova/internal/obs"
+	"nova/internal/sched"
+)
+
+// Config sizes a Server. Zero values select the documented defaults.
+type Config struct {
+	// CacheBytes bounds the result cache payload (default 64 MiB).
+	CacheBytes int64
+	// MaxInflight caps concurrently admitted requests (default
+	// sched.PoolSize(0, 0), i.e. GOMAXPROCS).
+	MaxInflight int
+	// QueueWait is how long an arriving request may wait for an
+	// admission slot before the 429 (default 100ms; negative = reject
+	// immediately).
+	QueueWait time.Duration
+	// DefaultTimeout is the per-request deadline when the client sends
+	// no ?timeout= (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested ?timeout= (default 2m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds a request body (default 4 MiB).
+	MaxBodyBytes int64
+	// MaxBatch bounds the machines of one batch request (default 64).
+	MaxBatch int
+	// Parallelism and Intra set the per-encode worker knobs
+	// (nova.Options.Parallelism / IntraParallelism). The default
+	// Parallelism is 1: under concurrent traffic, one worker per encode
+	// maximizes throughput, and admission — not per-run fan-out — owns
+	// the machine. Raise it (or Intra) for latency-sensitive, low-QPS
+	// deployments; sched.PoolSize(Parallelism, Intra) workers per run
+	// times MaxInflight bounds total engine goroutines.
+	Parallelism int
+	Intra       int
+	// Tracer receives the server's request/cache metrics; a fresh tracer
+	// is created when nil. Expose it with obs.PublishExpvar or read
+	// /debug/vars.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, receives one structured line per request.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = sched.PoolSize(0, 0)
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.QueueWait < 0 {
+		c.QueueWait = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.New()
+	}
+	return c
+}
+
+// encodeFunc / verifyFunc are the engine entry points, fields so the
+// httptest suite can substitute deterministic stubs.
+type encodeFunc func(ctx context.Context, f *nova.FSM, opt nova.Options) (*nova.Result, error)
+type verifyFunc func(ctx context.Context, f *nova.FSM, asg nova.Assignment) error
+
+// Server is the HTTP serving layer. Create with New; it implements
+// http.Handler.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	flights flights
+	sem     chan struct{}
+	pool    *sched.Pool // batch fan-out, sized like the admission bound
+
+	draining atomic.Bool
+	inflight atomic.Int64
+	encodes  atomic.Int64 // actual engine runs (cache misses that ran)
+
+	mux    *http.ServeMux
+	encode encodeFunc
+	verify verifyFunc
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  NewCache(cfg.CacheBytes),
+		sem:    make(chan struct{}, cfg.MaxInflight),
+		pool:   sched.New(cfg.MaxInflight),
+		encode: nova.EncodeContext,
+		verify: nova.VerifyContext,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/encode", s.admitted("/v1/encode", s.handleEncode))
+	mux.HandleFunc("POST /v1/encode/batch", s.admitted("/v1/encode/batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/verify", s.admitted("/v1/verify", s.handleVerify))
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain flips the server into draining mode: healthz reports 503, new
+// requests are refused with 503 + Retry-After, in-flight requests finish
+// normally. It never blocks; pair it with http.Server.Shutdown, which
+// waits for the in-flight connections.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Metrics returns the server's counter set (also visible at /debug/vars).
+func (s *Server) Metrics() *obs.Metrics { return s.cfg.Tracer.Metrics() }
+
+// Tracer returns the server's tracer, for expvar publication or span
+// streaming.
+func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// Vars merges every server counter into one flat map: HTTP counters and
+// latency histograms, cache statistics, engine-run and singleflight
+// totals, and the inflight/draining gauges. This is the /debug/vars
+// payload (under the "nova" key).
+func (s *Server) Vars() map[string]int64 {
+	out := s.Metrics().Vars()
+	if out == nil {
+		out = make(map[string]int64)
+	}
+	cs := s.cache.Stats()
+	out["cache.hits"] = cs.Hits
+	out["cache.misses"] = cs.Misses
+	out["cache.evictions"] = cs.Evictions
+	out["cache.bytes"] = cs.Bytes
+	out["cache.entries"] = cs.Entries
+	out["engine.encodes"] = s.encodes.Load()
+	out["flight.shared"] = s.flights.Shared()
+	out["http.inflight"] = s.inflight.Load()
+	if s.draining.Load() {
+		out["server.draining"] = 1
+	}
+	return out
+}
+
+// admitted wraps an endpoint with drain refusal, the admission
+// semaphore, the per-request deadline, the request/latency metrics and
+// the body bound.
+func (s *Server) admitted(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m := s.Metrics()
+		m.Add("http.requests", 1)
+		m.Add("http.requests."+endpoint, 1)
+		if s.draining.Load() {
+			m.Add("http.rejected.draining", 1)
+			s.refuse(w, http.StatusServiceUnavailable, "5", "server draining")
+			return
+		}
+		if !s.acquire(r.Context()) {
+			if r.Context().Err() != nil {
+				return // client hung up while queued; nothing to say
+			}
+			m.Add("http.rejected.saturated", 1)
+			s.refuse(w, http.StatusTooManyRequests, "1", "server saturated")
+			return
+		}
+		n := s.inflight.Add(1)
+		m.Max("http.inflight_max", n)
+		start := time.Now()
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+			m.ObserveDur("http.latency."+endpoint, time.Since(start))
+		}()
+
+		d, err := requestTimeout(r, s.cfg)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", nova.ErrBadOptions, err))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	}
+}
+
+// acquire takes an admission slot, waiting up to cfg.QueueWait; it
+// reports false when the server stayed saturated (or the client left).
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if s.cfg.QueueWait <= 0 {
+		return false
+	}
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// requestTimeout resolves the per-request deadline from ?timeout=.
+func requestTimeout(r *http.Request, cfg Config) (time.Duration, error) {
+	q := r.URL.Query().Get("timeout")
+	if q == "" {
+		return cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(q)
+	if err != nil {
+		return 0, fmt.Errorf("timeout %q: %v", q, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("timeout %q must be positive", q)
+	}
+	if d > cfg.MaxTimeout {
+		d = cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// handleEncode serves POST /v1/encode.
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	var rq nova.Request
+	if err := json.NewDecoder(r.Body).Decode(&rq); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: body: %v", nova.ErrBadOptions, err))
+		return
+	}
+	body, hit, err := s.encodeCached(r.Context(), &rq)
+	if err != nil {
+		s.writeError(w, statusOf(r.Context(), err), err)
+		return
+	}
+	state := "MISS"
+	if hit {
+		state = "HIT"
+	}
+	s.writeBody(w, http.StatusOK, body, state)
+}
+
+// encodeCached is the content-addressed path shared by the single and
+// batch endpoints: cache lookup, then a singleflight-collapsed engine
+// run whose marshaled Response is cached for the next identical request.
+func (s *Server) encodeCached(ctx context.Context, rq *nova.Request) (body []byte, hit bool, err error) {
+	key, err := rq.CacheKey()
+	if err != nil {
+		return nil, false, err
+	}
+	if b, ok := s.cache.Get(key); ok {
+		return b, true, nil
+	}
+	b, _, err := s.flights.Do(ctx, key, func() ([]byte, error) {
+		f, err := rq.Machine()
+		if err != nil {
+			return nil, err
+		}
+		opt := rq.Options()
+		opt.Parallelism = s.cfg.Parallelism
+		opt.IntraParallelism = s.cfg.Intra
+		if rq.IncludeTelemetry {
+			opt.Tracer = obs.New()
+		}
+		s.encodes.Add(1)
+		res, err := s.encode(ctx, f, opt)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(nova.ResponseOf(f, res))
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	return b, false, err
+}
+
+// BatchRequest / BatchResponse are the wire envelope of
+// POST /v1/encode/batch. Responses[i] answers Requests[i]; a failed
+// machine carries its error inline (the nova.Response error fields) and
+// never aborts its siblings — the same partial-results contract as
+// nova.EncodeAll.
+type BatchRequest struct {
+	Requests []nova.Request `json:"requests"`
+}
+
+type BatchResponse struct {
+	Responses []json.RawMessage `json:"responses"`
+}
+
+// handleBatch serves POST /v1/encode/batch: the items fan out over the
+// server's bounded pool and each one goes through the cached single-
+// encode path, so a batch warms the cache for later point requests and
+// vice versa.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var bq BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&bq); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: body: %v", nova.ErrBadOptions, err))
+		return
+	}
+	if len(bq.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: empty batch", nova.ErrBadOptions))
+		return
+	}
+	if len(bq.Requests) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: batch of %d exceeds the %d-machine bound", nova.ErrBadOptions, len(bq.Requests), s.cfg.MaxBatch))
+		return
+	}
+	out := BatchResponse{Responses: make([]json.RawMessage, len(bq.Requests))}
+	g := s.pool.Group(r.Context())
+	for i := range bq.Requests {
+		g.Go(func(ctx context.Context) error {
+			rq := &bq.Requests[i]
+			body, _, err := s.encodeCached(ctx, rq)
+			if err != nil {
+				if errors.Is(err, nova.ErrCanceled) && ctx.Err() != nil {
+					return err // whole batch canceled: stop the siblings
+				}
+				body, merr := json.Marshal(nova.ErrorResponse(rq.Name, rq.Algorithm, err))
+				if merr != nil {
+					return merr
+				}
+				out.Responses[i] = body
+				return nil
+			}
+			out.Responses[i] = body
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		s.writeError(w, statusOf(r.Context(), err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleVerify serves POST /v1/verify. A verification mismatch is a
+// successful request whose answer is "no": 200 with ok=false.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var vq nova.VerifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&vq); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: body: %v", nova.ErrBadOptions, err))
+		return
+	}
+	f, err := vq.Machine()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	asg, err := vq.Assignment()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.verify(r.Context(), f, asg); err != nil {
+		if errors.Is(err, nova.ErrCanceled) {
+			s.writeError(w, statusOf(r.Context(), err), err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, nova.VerifyResponse{OK: false, Error: err.Error(), ErrorKind: nova.ErrorKindOf(err)})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, nova.VerifyResponse{OK: true})
+}
+
+// handleHealthz serves GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleVars serves GET /debug/vars in expvar's JSON shape, with every
+// server counter under the "nova" key.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"nova": s.Vars()}) //nolint:errcheck // best-effort diagnostics
+}
+
+// statusOf maps an engine error onto its HTTP status. Deadline expiry of
+// the request's own context is a server-side timeout (504); every other
+// cancellation means the client is gone and the status is moot.
+func statusOf(ctx context.Context, err error) int {
+	switch {
+	case errors.Is(err, nova.ErrBadOptions):
+		return http.StatusBadRequest
+	case errors.Is(err, nova.ErrGaveUp), errors.Is(err, nova.ErrUnencodable):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, nova.ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return http.StatusGatewayTimeout
+		}
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional code for "client
+// hung up first"; the client never sees it, the access metrics do.
+const statusClientClosedRequest = 499
+
+func (s *Server) refuse(w http.ResponseWriter, status int, retryAfter, msg string) {
+	w.Header().Set("Retry-After", retryAfter)
+	s.writeError(w, status, errors.New(msg))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.Metrics().Add("http.status."+strconv.Itoa(status), 1)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("request failed", "status", status, "err", err)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	b, merr := json.Marshal(&nova.Response{Error: err.Error(), ErrorKind: nova.ErrorKindOf(err)})
+	if merr != nil {
+		return
+	}
+	w.Write(append(b, '\n')) //nolint:errcheck // client may be gone
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeBody(w, status, b, "")
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, status int, b []byte, cacheState string) {
+	s.Metrics().Add("http.status."+strconv.Itoa(status), 1)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if cacheState != "" {
+		w.Header().Set("X-Cache", cacheState)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(status)
+	w.Write(b) //nolint:errcheck // client may be gone
+}

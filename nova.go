@@ -29,7 +29,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 
 	"nova/internal/baseline"
 	"nova/internal/constraint"
@@ -175,24 +174,6 @@ type Options struct {
 	Tracer *Tracer
 }
 
-// workers resolves Parallelism to a concrete worker count.
-func (o Options) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// poolSize is the run pool's worker bound: intra-problem parallelism can
-// widen the pool beyond the coarse-grained Parallelism setting.
-func (o Options) poolSize() int {
-	w := o.workers()
-	if o.IntraParallelism > w {
-		w = o.IntraParallelism
-	}
-	return w
-}
-
 // engine bundles the concurrency machinery of one run (or one EncodeAll
 // batch): the bounded pool every fan-out shares, plus — when
 // IntraParallelism is on — the unate-recursion fork and the search
@@ -203,8 +184,10 @@ type engine struct {
 	fan  encode.Fanout
 }
 
+// newEngine builds the run machinery for an Options value that already
+// went through withDefaults.
 func newEngine(opt Options) *engine {
-	eng := &engine{pool: sched.New(opt.poolSize())}
+	eng := &engine{pool: sched.New(sched.PoolSize(opt.Parallelism, opt.IntraParallelism))}
 	if opt.IntraParallelism >= 2 {
 		eng.fork = cube.NewFork(eng.pool, opt.IntraForkCubes)
 		eng.fan = encode.Fanout{Pool: eng.pool}
@@ -281,7 +264,14 @@ func Encode(f *FSM, opt Options) (*Result, error) {
 // the Random trial batch, the per-symbolic-input encodes — over a
 // bounded worker pool of Options.Parallelism goroutines; see that field
 // for the determinism guarantee.
+//
+// Invalid Options are rejected up front with an error matching
+// errors.Is(err, ErrBadOptions); see Options.Validate.
 func EncodeContext(ctx context.Context, f *FSM, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
 	return encodeRun(ctx, newEngine(opt), f, opt)
 }
 
@@ -297,9 +287,6 @@ func encodeRun(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, 
 		return encodeWith(ctx, eng, f, opt)
 	}
 	alg := opt.Algorithm
-	if alg == "" {
-		alg = Best
-	}
 	ctx = obs.With(ctx, t)
 	sctx, sp := obs.Span(ctx, "nova.encode")
 	sp.SetStr("machine", f.Name)
@@ -323,11 +310,10 @@ func encodeRun(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, 
 }
 
 // encodeWith is the engine behind EncodeContext and EncodeAll: every
-// fan-out of one run (or one batch) shares the same bounded pool.
+// fan-out of one run (or one batch) shares the same bounded pool. The
+// Options were resolved by withDefaults at the entry point, so
+// opt.Algorithm is always a member of the algorithm set here.
 func encodeWith(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, error) {
-	if opt.Algorithm == "" {
-		opt.Algorithm = Best
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, canceledErr(err)
 	}

@@ -1,0 +1,74 @@
+package nova
+
+import (
+	"fmt"
+
+	"nova/internal/sched"
+)
+
+// algorithms is the closed set of Algorithm values the entry points
+// accept. The empty string is also accepted everywhere and resolves to
+// Best in withDefaults.
+var algorithms = map[Algorithm]bool{
+	IExact: true, IHybrid: true, IGreedy: true, IOHybrid: true,
+	IOVariant: true, Best: true, KISS: true, OneHot: true, Random: true,
+	MustangP: true, MustangN: true, MustangPT: true, MustangNT: true,
+}
+
+// Algorithms returns every accepted Algorithm value in a stable order —
+// the set the CLI tools and the server validate request algorithms
+// against.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		IExact, IHybrid, IGreedy, IOHybrid, IOVariant, Best,
+		KISS, OneHot, Random, MustangP, MustangN, MustangPT, MustangNT,
+	}
+}
+
+// Validate checks the Options for values no run could honor: an unknown
+// algorithm, an encoding length outside [0, 64], or a negative budget or
+// worker bound. Every public entry point (Encode, EncodeContext,
+// EncodeAll) calls it once up front and returns the failure wrapped so
+// that errors.Is(err, ErrBadOptions) matches; zero values are always
+// valid and select the documented defaults.
+func (o Options) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadOptions, fmt.Sprintf(format, args...))
+	}
+	if o.Algorithm != "" && !algorithms[o.Algorithm] {
+		return bad("unknown algorithm %q", o.Algorithm)
+	}
+	if o.Bits < 0 || o.Bits > 64 {
+		return bad("Bits %d outside [0, 64]", o.Bits)
+	}
+	if o.MaxWork < 0 {
+		return bad("MaxWork %d is negative", o.MaxWork)
+	}
+	if o.RandomTrials < 0 {
+		return bad("RandomTrials %d is negative", o.RandomTrials)
+	}
+	if o.Parallelism < 0 {
+		return bad("Parallelism %d is negative", o.Parallelism)
+	}
+	if o.IntraParallelism < 0 {
+		return bad("IntraParallelism %d is negative", o.IntraParallelism)
+	}
+	if o.IntraForkCubes < 0 {
+		return bad("IntraForkCubes %d is negative", o.IntraForkCubes)
+	}
+	return nil
+}
+
+// withDefaults resolves every defaulted zero value to its concrete
+// setting in one place: the algorithm and the worker bound. It is the
+// single fixup point behind the public entry points — code past it can
+// rely on Algorithm being a member of the algorithm set and Parallelism
+// being positive. (RandomTrials stays 0 here because its default depends
+// on the machine; encodeRandom resolves it.)
+func (o Options) withDefaults() Options {
+	if o.Algorithm == "" {
+		o.Algorithm = Best
+	}
+	o.Parallelism = sched.PoolSize(o.Parallelism, 0)
+	return o
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -165,6 +166,39 @@ func TestEncodeAllRejectsNil(t *testing.T) {
 	_, err := nova.EncodeAll(context.Background(), []*nova.FSM{bench.Get("lion"), nil}, nova.Options{})
 	if err == nil {
 		t.Fatal("EncodeAll accepted a nil machine")
+	}
+}
+
+// TestEncodeAllPartialResults pins the batch partial-results contract: a
+// per-machine failure lands in the joined error and leaves its slot nil,
+// while every sibling's result still comes back.
+func TestEncodeAllPartialResults(t *testing.T) {
+	// One-hot on a 70-state machine needs 70 state bits — more than a
+	// 64-bit code word holds — so that machine alone is unencodable.
+	rng := rand.New(rand.NewSource(4))
+	big := randomFSM(rng, 1, 1, 70)
+	big.Name = "toobig"
+	fsms := []*nova.FSM{bench.Get("lion"), big, bench.Get("bbtas")}
+	results, err := nova.EncodeAll(context.Background(), fsms, nova.Options{Algorithm: nova.OneHot})
+	if !errors.Is(err, nova.ErrUnencodable) {
+		t.Fatalf("err = %v, want ErrUnencodable joined in", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "toobig") {
+		t.Fatalf("err %q does not name the failed machine", err)
+	}
+	if len(results) != len(fsms) {
+		t.Fatalf("EncodeAll returned %d slots for %d machines", len(results), len(fsms))
+	}
+	if results[1] != nil {
+		t.Fatalf("failed machine's slot is %+v, want nil", results[1])
+	}
+	for _, i := range []int{0, 2} {
+		if results[i] == nil {
+			t.Fatalf("%s: sibling result lost to the partial failure", fsms[i].Name)
+		}
+		if verr := nova.Verify(fsms[i], results[i].Assignment); verr != nil {
+			t.Fatalf("%s: %v", fsms[i].Name, verr)
+		}
 	}
 }
 

@@ -1,0 +1,10 @@
+//go:build race
+
+package nova_test
+
+// raceEnabled reports whether the test binary was built with the race
+// detector. The allocation-count guards skip themselves under race: the
+// race runtime allocates on its own schedule, so AllocsPerRun numbers
+// are noise there. The guards stay enforced by the non-race test runs
+// (and the CI telemetry job runs them explicitly).
+const raceEnabled = true

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the novad serving layer:
+#
+#   1. build and start novad on a free port
+#   2. POST the same encode request twice
+#   3. assert the two response bodies are byte-identical
+#   4. assert /debug/vars reports a cache hit and exactly one engine run
+#   5. SIGTERM the daemon and assert it drains and exits cleanly
+#
+# Requires: go, curl, python3 (JSON field extraction). No external Go deps.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${NOVAD_SMOKE_PORT:-8089}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"; [ -n "${NOVAD_PID:-}" ] && kill -9 "$NOVAD_PID" 2>/dev/null || true' EXIT
+
+echo "==> building novad"
+go build -o "$WORKDIR/novad" ./cmd/novad
+
+echo "==> starting novad on $ADDR"
+"$WORKDIR/novad" -addr "$ADDR" -grace 10s >"$WORKDIR/novad.log" 2>&1 &
+NOVAD_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/v1/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$NOVAD_PID" 2>/dev/null; then
+        echo "novad died during startup:" >&2
+        cat "$WORKDIR/novad.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/v1/healthz" >/dev/null
+
+echo "==> posting the same encode request twice"
+python3 - "$WORKDIR/request.json" <<'EOF'
+import json, sys
+kiss2 = open("testdata/quick4.kiss2").read()
+req = {"kiss2": kiss2, "name": "quick4", "algorithm": "ihybrid"}
+with open(sys.argv[1], "w") as f:
+    json.dump(req, f)
+EOF
+
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$WORKDIR/request.json" \
+    "http://$ADDR/v1/encode" -o "$WORKDIR/resp1.json" -D "$WORKDIR/head1.txt"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$WORKDIR/request.json" \
+    "http://$ADDR/v1/encode" -o "$WORKDIR/resp2.json" -D "$WORKDIR/head2.txt"
+
+echo "==> checking byte-identical responses"
+cmp "$WORKDIR/resp1.json" "$WORKDIR/resp2.json"
+grep -qi '^x-cache: MISS' "$WORKDIR/head1.txt"
+grep -qi '^x-cache: HIT' "$WORKDIR/head2.txt"
+
+echo "==> checking /debug/vars counters"
+curl -fsS "http://$ADDR/debug/vars" -o "$WORKDIR/vars.json"
+python3 - "$WORKDIR/vars.json" <<'EOF'
+import json, sys
+v = json.load(open(sys.argv[1]))["nova"]
+assert v.get("cache.hits", 0) >= 1, f"no cache hit recorded: {v}"
+assert v.get("engine.encodes", 0) == 1, f"engine ran {v.get('engine.encodes')} times, want 1"
+assert v.get("http.requests", 0) >= 2, f"request counter wrong: {v}"
+print(f"    cache.hits={v['cache.hits']} engine.encodes={v['engine.encodes']}")
+EOF
+
+echo "==> checking the served response verifies"
+python3 - "$WORKDIR/resp1.json" "$WORKDIR/verify.json" <<'EOF'
+import json, sys
+resp = json.load(open(sys.argv[1]))
+assert resp.get("area", 0) > 0 and not resp.get("error"), f"bad encode response: {resp}"
+req = {"kiss2": open("testdata/quick4.kiss2").read(), "states": resp["states"]}
+with open(sys.argv[2], "w") as f:
+    json.dump(req, f)
+EOF
+curl -fsS -X POST --data-binary @"$WORKDIR/verify.json" \
+    "http://$ADDR/v1/verify" -o "$WORKDIR/verified.json"
+python3 -c 'import json,sys; v=json.load(open(sys.argv[1])); assert v["ok"], v' "$WORKDIR/verified.json"
+
+echo "==> SIGTERM drain"
+kill -TERM "$NOVAD_PID"
+for i in $(seq 1 100); do
+    if ! kill -0 "$NOVAD_PID" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if kill -0 "$NOVAD_PID" 2>/dev/null; then
+    echo "novad did not exit within 10s of SIGTERM" >&2
+    cat "$WORKDIR/novad.log" >&2
+    exit 1
+fi
+wait "$NOVAD_PID" 2>/dev/null || EXIT_CODE=$?
+if [ "${EXIT_CODE:-0}" -ne 0 ]; then
+    echo "novad exited with $EXIT_CODE after SIGTERM" >&2
+    cat "$WORKDIR/novad.log" >&2
+    exit 1
+fi
+NOVAD_PID=""
+grep -q 'final telemetry snapshot' "$WORKDIR/novad.log" || {
+    echo "drain did not flush the telemetry snapshot" >&2
+    cat "$WORKDIR/novad.log" >&2
+    exit 1
+}
+
+echo "server smoke: OK"
