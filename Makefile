@@ -10,14 +10,17 @@ all: verify
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest-source) execution order so
+# order-dependent tests cannot hide behind file ordering; failures print
+# the shuffle seed for replay with -shuffle=<seed>.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 verify: vet build test race
 

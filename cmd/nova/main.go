@@ -38,7 +38,7 @@ func main() {
 }
 
 func run() int {
-	alg := flag.String("e", "best", "encoding algorithm: iexact, ihybrid, igreedy, iohybrid, iovariant, best, kiss, onehot, random, mustang-p, mustang-n, mustang-pt, mustang-nt")
+	alg := flag.String("e", "best", "encoding algorithm: iexact, ihybrid, igreedy, iohybrid, iovariant, best, portfolio, kiss, onehot, random, mustang-p, mustang-n, mustang-pt, mustang-nt")
 	bits := flag.Int("bits", 0, "encoding length (0 = minimum)")
 	pla := flag.Bool("pla", false, "print the minimized encoded PLA")
 	doVerify := flag.Bool("verify", false, "verify the encoded machine against the symbolic table")
@@ -142,6 +142,13 @@ func run() int {
 	}
 
 	fmt.Printf("algorithm: %s\n", res.Algorithm)
+	if res.Winner != "" {
+		if res.WinnerSeedSplit != 0 {
+			fmt.Printf("winner:    %s@%d\n", res.Winner, res.WinnerSeedSplit)
+		} else {
+			fmt.Printf("winner:    %s\n", res.Winner)
+		}
+	}
 	fmt.Printf("codes (%d bits):\n", res.Assignment.States.Bits)
 	for i, name := range fsm.States {
 		fmt.Printf("  %-12s %s\n", name, res.Assignment.States.CodeString(i))

@@ -39,7 +39,10 @@ type benchSnapshot struct {
 	// Results carries the encode outcomes of the measured sweep through
 	// the wire-stable nova.Response schema — the same serialization the
 	// novad server emits, so downstream tooling parses one format.
-	Results []nova.Response `json:"results"`
+	Results []nova.Response `json:"results,omitempty"`
+	// Portfolio holds the -portfolio quality-vs-wallclock rows: the
+	// hedged race against each single roster algorithm per machine.
+	Portfolio []portfolioRow `json:"portfolio,omitempty"`
 }
 
 // measure runs fn once and reports its wall time and allocation count.
@@ -105,9 +108,11 @@ func wireResults(opts experiments.RunOpts, r *experiments.Runner) []nova.Respons
 	return out
 }
 
-// writeBenchJSON measures tables II, IV and VI serially and with
-// intra-problem parallelism, and writes BENCH_<date>.json.
-func writeBenchJSON(opts experiments.RunOpts, intraWorkers int) (string, error) {
+// writeBenchJSON writes BENCH_<date>.json with the requested sections:
+// withTables measures tables II, IV and VI serially and with
+// intra-problem parallelism; withPortfolio adds the portfolio
+// quality-vs-wallclock rows over the same machines.
+func writeBenchJSON(opts experiments.RunOpts, intraWorkers int, withTables, withPortfolio bool) (string, error) {
 	if intraWorkers < 2 {
 		intraWorkers = 8
 	}
@@ -119,8 +124,38 @@ func writeBenchJSON(opts experiments.RunOpts, intraWorkers int) (string, error) 
 		IntraWorkers: intraWorkers,
 		Note: "speedup_vs_serial is wall-clock and needs spare CPUs to exceed 1.0; " +
 			"on a host without them the intra run matches serial within noise while " +
-			"staying byte-identical. allocs are process-wide Mallocs deltas per regeneration.",
+			"staying byte-identical. allocs are process-wide Mallocs deltas per regeneration. " +
+			"portfolio rows compare the hedged race against each roster algorithm run " +
+			"alone: area_vs_best_single <= 1.0 is the quality bar, wallclock_vs_fastest " +
+			"needs spare CPUs to approach 1.0.",
 	}
+	if withPortfolio {
+		rows, err := measurePortfolio(opts)
+		if err != nil {
+			return "", fmt.Errorf("portfolio: %w", err)
+		}
+		snap.Portfolio = rows
+	}
+	if withTables {
+		if err := measureTables(opts, intraWorkers, &snap); err != nil {
+			return "", err
+		}
+	}
+	name := "BENCH_" + snap.Date + ".json"
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// measureTables fills the serial-vs-intra table measurements of the
+// snapshot.
+func measureTables(opts experiments.RunOpts, intraWorkers int, snap *benchSnapshot) error {
 	serialOpts := opts
 	serialOpts.Intra = 0
 	intraOpts := opts
@@ -130,7 +165,7 @@ func writeBenchJSON(opts experiments.RunOpts, intraWorkers int) (string, error) 
 		var runner *experiments.Runner
 		sNs, sAllocs, err := measure(regenerate(serialOpts, table, &runner))
 		if err != nil {
-			return "", fmt.Errorf("table %d serial: %w", table, err)
+			return fmt.Errorf("table %d serial: %w", table, err)
 		}
 		// Tables share machines; keep the first Response per
 		// machine/algorithm pair so the snapshot has no duplicates.
@@ -144,7 +179,7 @@ func writeBenchJSON(opts experiments.RunOpts, intraWorkers int) (string, error) 
 		}
 		iNs, iAllocs, err := measure(regenerate(intraOpts, table, nil))
 		if err != nil {
-			return "", fmt.Errorf("table %d intra: %w", table, err)
+			return fmt.Errorf("table %d intra: %w", table, err)
 		}
 		tb := tableBench{
 			Table:        fmt.Sprintf("table-%d", table),
@@ -161,14 +196,5 @@ func writeBenchJSON(opts experiments.RunOpts, intraWorkers int) (string, error) 
 		}
 		snap.Tables = append(snap.Tables, tb)
 	}
-	name := "BENCH_" + snap.Date + ".json"
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return "", err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(name, data, 0o644); err != nil {
-		return "", err
-	}
-	return name, nil
+	return nil
 }

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	novabench [-table N] [-only name,name] [-skip-huge] [-fast] [-seed S]
-//	          [-phase-table] [-trace out.json] [-cpuprofile f] [-memprofile f]
+//	          [-json] [-portfolio] [-phase-table] [-trace out.json]
+//	          [-cpuprofile f] [-memprofile f]
 //
 // With no -table flag every experiment runs in order. Table numbers follow
 // the paper: 1-7 are Tables I-VII, 8-10 are the plot series the paper
@@ -45,6 +46,7 @@ func realMain() int {
 	par := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 	intra := flag.Int("intra", 0, "intra-problem parallelism per encode (0/1 = serial inside each problem)")
 	jsonSnap := flag.Bool("json", false, "measure tables II/IV/VI serial vs intra-parallel and write BENCH_<date>.json")
+	pfSnap := flag.Bool("portfolio", false, "measure the portfolio race vs single algorithms and write BENCH_<date>.json (combines with -json)")
 	exactBudget := flag.Int("exact-budget", 1_500_000, "iexact work budget per machine (0 = library default)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	phaseTable := flag.Bool("phase-table", false, "print a per-machine phase time breakdown after the tables")
@@ -105,8 +107,8 @@ func realMain() int {
 	if *only != "" {
 		opts.Only = strings.Split(*only, ",")
 	}
-	if *jsonSnap {
-		name, err := writeBenchJSON(opts, *intra)
+	if *jsonSnap || *pfSnap {
+		name, err := writeBenchJSON(opts, *intra, *jsonSnap, *pfSnap)
 		if err != nil {
 			return fail(err)
 		}

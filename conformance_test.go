@@ -1,0 +1,216 @@
+package nova_test
+
+// Metamorphic conformance harness: the encode cost (PLA area and cube
+// count) is a function of the machine, not of its spelling. Two source
+// transformations provably preserve the machine up to relabeling —
+// renaming every state (keeping the first-appearance order that fixes
+// the parsed state indices) and permuting the proper input columns — so
+// for every suite machine and algorithm the transformed source must
+// encode to the same cost, and every emitted cover must implement its
+// (transformed) machine.
+//
+// Both comparisons are parse-to-parse: the baseline is the encode of the
+// re-parsed canonical text, not of the in-memory suite machine, because
+// re-parsing itself reassigns state indices by first appearance. Row
+// permutations are deliberately not tested: the minimizer's cube
+// ordering is part of the search schedule, so reordering rows genuinely
+// changes which minimum the searches find.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nova"
+	"nova/internal/bench"
+)
+
+// conformanceAlgs is the algorithm axis of the matrix. iexact runs under
+// the same bounded budget as the determinism tests; a give-up skips the
+// combo (consistently on both sides, see below).
+var conformanceAlgs = []nova.Algorithm{
+	nova.IExact, nova.IHybrid, nova.IGreedy, nova.IOHybrid, nova.IOVariant, nova.Best,
+}
+
+// shortConformanceAlgs is the -short axis.
+var shortConformanceAlgs = []nova.Algorithm{nova.IHybrid, nova.IOHybrid, nova.IGreedy}
+
+// conformanceMachines returns the machine axis: every suite machine
+// whose full algorithm sweep stays under ~2s (measured; the excluded
+// machines — dk16, donfile, ex2, bbsse, dk512, cse, keyb, planet, s1,
+// sand, scud, styr, ex1 and the huge pair — cost 6s to minutes per
+// sweep, and the harness encodes each sweep three times per spelling),
+// or the parallel-test cross-section under -short. The set still spans
+// every machine shape: symbolic inputs (dk*), wide proper inputs
+// (physrec, tav), single-input chains (shiftreg, modulo12) and both
+// fan-out joins.
+func conformanceMachines(t *testing.T) []string {
+	if testing.Short() {
+		return parallelSuite
+	}
+	return []string{
+		"bbara", "bbtas", "beecount", "dk14", "dk15", "dk17", "dk27",
+		"ex3", "ex5", "ex6", "iofsm", "mark1", "physrec", "shiftreg",
+		"train11", "lion", "lion9", "modulo12", "tav", "do1",
+	}
+}
+
+// isTransition reports whether a KISS2 source line is a transition row
+// (as opposed to a directive, comment, or blank line).
+func isTransition(line string) bool {
+	s := strings.TrimSpace(line)
+	return s != "" && !strings.HasPrefix(s, ".") && !strings.HasPrefix(s, "#")
+}
+
+// relabelStates renames every state of the KISS2 source to a fresh
+// random name, in place. Rows keep their order, so states keep their
+// first-appearance order and the re-parse assigns identical indices —
+// the machine is unchanged up to the names.
+func relabelStates(t *testing.T, src string, rng *rand.Rand) string {
+	t.Helper()
+	mapping := map[string]string{}
+	fresh := func(old string) string {
+		if n, ok := mapping[old]; ok {
+			return n
+		}
+		n := fmt.Sprintf("zz%x_%d", rng.Uint32(), len(mapping))
+		mapping[old] = n
+		return n
+	}
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		if f := strings.Fields(line); len(f) == 2 && f[0] == ".r" {
+			lines[i] = ".r " + fresh(f[1])
+			continue
+		}
+		if !isTransition(line) {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			t.Fatalf("unexpected transition row %q", line)
+		}
+		// A row is: input bits, one field per symbolic input, current
+		// state, next state, outputs — states sit at len-3 and len-2.
+		f[len(f)-3] = fresh(f[len(f)-3])
+		f[len(f)-2] = fresh(f[len(f)-2])
+		lines[i] = strings.Join(f, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// permuteInputColumns applies one random permutation to the proper input
+// columns of every transition row. Column order carries no meaning —
+// each column is an independent input wire — so the machine is the same.
+func permuteInputColumns(t *testing.T, src string, ni int, rng *rand.Rand) string {
+	t.Helper()
+	if ni < 2 {
+		return src
+	}
+	perm := rng.Perm(ni)
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		if !isTransition(line) {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f[0]) != ni {
+			t.Fatalf("input field %q is not %d columns in row %q", f[0], ni, line)
+		}
+		in := []byte(f[0])
+		out := make([]byte, ni)
+		for j, p := range perm {
+			out[j] = in[p]
+		}
+		f[0] = string(out)
+		lines[i] = strings.Join(f, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// encodeSource parses and encodes one KISS2 spelling, verifying the
+// cover against the machine it was parsed from. A gave-up bounded search
+// is reported as ok=false, not a failure.
+func encodeSource(t *testing.T, src string, alg nova.Algorithm) (area, cubes int, ok bool) {
+	t.Helper()
+	f, err := nova.ParseKISSString(src)
+	if err != nil {
+		t.Fatalf("transformed source no longer parses: %v", err)
+	}
+	res, err := nova.Encode(f, nova.Options{Algorithm: alg, Seed: 7, MaxWork: 200_000})
+	if errors.Is(err, nova.ErrGaveUp) {
+		return 0, 0, false
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", alg, err)
+	}
+	if err := nova.Verify(f, res.Assignment); err != nil {
+		t.Fatalf("%s: emitted cover does not implement the machine: %v", alg, err)
+	}
+	return res.Area, res.Cubes, true
+}
+
+func TestMetamorphicConformance(t *testing.T) {
+	algs := conformanceAlgs
+	if testing.Short() {
+		algs = shortConformanceAlgs
+	}
+	for mi, name := range conformanceMachines(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			f := bench.Get(name)
+			src := f.String()
+			rng := rand.New(rand.NewSource(int64(1000 + mi)))
+			variants := map[string]string{
+				"relabel": relabelStates(t, src, rng),
+				"columns": permuteInputColumns(t, src, f.NI, rng),
+			}
+			for _, alg := range algs {
+				base, baseCubes, baseOK := encodeSource(t, src, alg)
+				for vname, vsrc := range variants {
+					t.Run(string(alg)+"/"+vname, func(t *testing.T) {
+						got, gotCubes, ok := encodeSource(t, vsrc, alg)
+						if ok != baseOK {
+							t.Fatalf("give-up differs across the transform: base %t, variant %t", baseOK, ok)
+						}
+						if !ok {
+							t.Skip("bounded search gave up on both spellings")
+						}
+						if got != base || gotCubes != baseCubes {
+							t.Errorf("cost not invariant: base area %d cubes %d, %s area %d cubes %d",
+								base, baseCubes, vname, got, gotCubes)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicTransformsChangeSource guards the harness itself: the
+// transforms must actually rewrite the text (an identity transform would
+// pass the invariance check vacuously). Column permutation is exercised
+// on a machine with enough input columns to permute.
+func TestMetamorphicTransformsChangeSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := bench.Get("dk27").String()
+	if relabelStates(t, src, rng) == src {
+		t.Error("relabelStates left the source unchanged")
+	}
+	tav := bench.Get("tav")
+	perm := permuteInputColumns(t, tav.String(), tav.NI, rand.New(rand.NewSource(3)))
+	if perm == tav.String() {
+		t.Error("permuteInputColumns left the source unchanged")
+	}
+	// The transformed sources still describe machines of the same shape.
+	pf, err := nova.ParseKISSString(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.NI != tav.NI || pf.NumStates() != tav.NumStates() {
+		t.Errorf("permutation changed the machine shape: %d/%d inputs, %d/%d states",
+			pf.NI, tav.NI, pf.NumStates(), tav.NumStates())
+	}
+}

@@ -1,0 +1,72 @@
+package nova
+
+// Fuzz target for the wire request decoder: arbitrary JSON bodies (the
+// exact bytes novad reads off the network) must never panic the decode /
+// validate / cache-key path, and every accepted request must produce a
+// stable, well-formed cache key.
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func FuzzDecodeRequest(f *testing.F) {
+	quick := `.i 1\n.o 1\n.s 4\n.r c0\n0 c0 c1 0\n1 c0 c3 1\n0 c1 c2 1\n1 c1 c0 0\n0 c2 c3 1\n1 c2 c1 0\n0 c3 c0 0\n1 c3 c2 1\n.e`
+	for _, seed := range []string{
+		// The server smoke payload shape.
+		`{"kiss2": "` + quick + `", "name": "quick4", "algorithm": "ihybrid"}`,
+		// Every option field populated.
+		`{"kiss2": "` + quick + `", "algorithm": "iexact", "bits": 3, "seed": 9,
+		  "max_work": 1000, "random_trials": 2, "fast_minimize": true,
+		  "include_pla": true, "include_telemetry": true, "name": "x"}`,
+		// Portfolio rosters: default, custom, truncated, hedged.
+		`{"kiss2": "` + quick + `", "algorithm": "portfolio"}`,
+		`{"kiss2": "` + quick + `", "portfolio": {"roster": [
+		   {"algorithm": "ihybrid"}, {"algorithm": "iohybrid", "seed_split": 2}],
+		   "max_candidates": 1, "hedge_delay_ms": 5}}`,
+		`{"kiss2": "` + quick + `", "portfolio": {}}`,
+		// Near-miss shapes the decoder must reject without panicking.
+		`{"kiss2": ""}`,
+		`{"kiss2": ".i bogus"}`,
+		`{"kiss2": "` + quick + `", "algorithm": "bogus"}`,
+		`{"kiss2": "` + quick + `", "portfolio": {"roster": [{"algorithm": "portfolio"}]}}`,
+		`{"portfolio": {"roster": null}}`,
+		`{`,
+		`[]`,
+		`{"kiss2": 7}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rq Request
+		if err := json.Unmarshal(data, &rq); err != nil {
+			return // malformed JSON only needs to not panic
+		}
+		fsm, err := rq.Validate()
+		if err != nil {
+			return // rejected requests only need to not panic
+		}
+		if fsm == nil {
+			t.Fatalf("Validate accepted a request without a machine: %s", data)
+		}
+		// Accepted requests must key the cache: a 64-hex digest, the same
+		// on every call (the serving layer relies on key stability for
+		// singleflight collapse and cache replay).
+		key, err := rq.CacheKey()
+		if err != nil {
+			t.Fatalf("validated request has no cache key: %v\n%s", err, data)
+		}
+		if len(key) != 64 {
+			t.Fatalf("cache key %q is not a sha256 hex digest", key)
+		}
+		again, err := rq.CacheKey()
+		if err != nil || again != key {
+			t.Fatalf("cache key unstable: %q then %q (err %v)", key, again, err)
+		}
+		// The derived options must pass the same validation the engine
+		// runs — wire acceptance may not be looser than Options.Validate.
+		if verr := rq.Options().Validate(); verr != nil {
+			t.Fatalf("accepted request derives invalid options: %v\n%s", verr, data)
+		}
+	})
+}

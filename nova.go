@@ -94,6 +94,15 @@ const (
 	// Best runs ihybrid, igreedy and iohybrid and returns the smallest
 	// area (the paper's "best of NOVA" column).
 	Best Algorithm = "best"
+	// Portfolio races a roster of algorithm×seed candidates over the
+	// run's worker pool under a shared best-cost bound and returns the
+	// cheapest cover — the hedged generalization of Best. The roster,
+	// candidate cap and hedging delay come from Options.Portfolio (nil
+	// selects DefaultRoster); the pick is deterministic (lowest area,
+	// ties to the lowest roster index), so serial and parallel portfolio
+	// runs return byte-identical Results. Result.Winner names the roster
+	// member that won.
+	Portfolio Algorithm = "portfolio"
 
 	// KISS satisfies all input constraints at a heuristic length, like
 	// KISS [9].
@@ -165,6 +174,13 @@ type Options struct {
 	// the default (cube.DefaultForkCubes, 24). Smaller values expose more
 	// concurrency but pay more goroutine handoffs per unit of work.
 	IntraForkCubes int
+	// Portfolio configures Algorithm Portfolio: the candidate roster (in
+	// pick-priority order), an optional candidate cap, and the hedging
+	// delay before the backup candidates launch. nil selects the default
+	// roster. Setting it with any other (non-empty) Algorithm is
+	// rejected by Validate; with an empty Algorithm it selects
+	// Portfolio.
+	Portfolio *PortfolioConfig
 	// Tracer, when non-nil, records phase spans and counters for the run;
 	// the snapshot is attached to Result.Telemetry. The default (nil)
 	// records nothing and adds no allocations or measurable overhead to
@@ -218,6 +234,11 @@ type Result struct {
 	GaveUp bool
 	// RandomAvgArea is the batch average for Algorithm Random.
 	RandomAvgArea int
+	// Winner and WinnerSeedSplit identify the roster member whose cover
+	// a Portfolio run returned (Winner is empty for every other
+	// algorithm).
+	Winner          Algorithm
+	WinnerSeedSplit int
 	// PLA is the minimized encoded implementation (with KeepPLA).
 	PLA *PLA
 	// Telemetry is the run's phase/counter snapshot, set only when
@@ -318,6 +339,8 @@ func encodeWith(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result,
 		return nil, canceledErr(err)
 	}
 	switch opt.Algorithm {
+	case Portfolio:
+		return encodePortfolio(ctx, eng, f, opt)
 	case Best:
 		return encodeBest(ctx, eng, f, opt)
 	case Random:

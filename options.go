@@ -11,7 +11,8 @@ import (
 // Best in withDefaults.
 var algorithms = map[Algorithm]bool{
 	IExact: true, IHybrid: true, IGreedy: true, IOHybrid: true,
-	IOVariant: true, Best: true, KISS: true, OneHot: true, Random: true,
+	IOVariant: true, Best: true, Portfolio: true, KISS: true,
+	OneHot: true, Random: true,
 	MustangP: true, MustangN: true, MustangPT: true, MustangNT: true,
 }
 
@@ -20,7 +21,7 @@ var algorithms = map[Algorithm]bool{
 // against.
 func Algorithms() []Algorithm {
 	return []Algorithm{
-		IExact, IHybrid, IGreedy, IOHybrid, IOVariant, Best,
+		IExact, IHybrid, IGreedy, IOHybrid, IOVariant, Best, Portfolio,
 		KISS, OneHot, Random, MustangP, MustangN, MustangPT, MustangNT,
 	}
 }
@@ -56,6 +57,12 @@ func (o Options) Validate() error {
 	if o.IntraForkCubes < 0 {
 		return bad("IntraForkCubes %d is negative", o.IntraForkCubes)
 	}
+	if o.Portfolio != nil && o.Algorithm != "" && o.Algorithm != Portfolio {
+		return bad("Portfolio config set with algorithm %q (want %q or empty)", o.Algorithm, Portfolio)
+	}
+	if err := o.Portfolio.validate(bad); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -67,7 +74,11 @@ func (o Options) Validate() error {
 // on the machine; encodeRandom resolves it.)
 func (o Options) withDefaults() Options {
 	if o.Algorithm == "" {
-		o.Algorithm = Best
+		if o.Portfolio != nil {
+			o.Algorithm = Portfolio
+		} else {
+			o.Algorithm = Best
+		}
 	}
 	o.Parallelism = sched.PoolSize(o.Parallelism, 0)
 	return o

@@ -202,6 +202,45 @@ func TestEncodeAllPartialResults(t *testing.T) {
 	}
 }
 
+// TestEncodeAllErrorOrderIsInputOrder pins the shape of the joined batch
+// error: per-machine failures appear in input order, not completion
+// order. Workers finish in whatever order scheduling allows, so the join
+// must come from the indexed error slots; a batch with several failures
+// across repeated parallel runs would expose any ordering drift.
+func TestEncodeAllErrorOrderIsInputOrder(t *testing.T) {
+	// One-hot on a >64-state machine is unencodable (the code word is a
+	// uint64), so every "big" machine fails deterministically.
+	rng := rand.New(rand.NewSource(8))
+	big := func(name string) *nova.FSM {
+		f := randomFSM(rng, 1, 1, 70)
+		f.Name = name
+		return f
+	}
+	fsms := []*nova.FSM{
+		big("fails-a"), bench.Get("lion"), big("fails-b"), bench.Get("bbtas"), big("fails-c"),
+	}
+	wantOrder := []string{"fails-a", "fails-b", "fails-c"}
+	for trial := 0; trial < 5; trial++ {
+		_, err := nova.EncodeAll(context.Background(), fsms, nova.Options{Algorithm: nova.OneHot, Parallelism: 4})
+		if !errors.Is(err, nova.ErrUnencodable) {
+			t.Fatalf("trial %d: err = %v, want ErrUnencodable joined in", trial, err)
+		}
+		joined, ok := err.(interface{ Unwrap() []error })
+		if !ok {
+			t.Fatalf("trial %d: batch error is not a join: %T", trial, err)
+		}
+		branches := joined.Unwrap()
+		if len(branches) != len(wantOrder) {
+			t.Fatalf("trial %d: %d error branches, want %d: %v", trial, len(branches), len(wantOrder), err)
+		}
+		for i, b := range branches {
+			if !strings.HasPrefix(b.Error(), wantOrder[i]+":") {
+				t.Fatalf("trial %d: branch %d is %q, want machine %q (input order)", trial, i, b, wantOrder[i])
+			}
+		}
+	}
+}
+
 // TestEncodeAllCanceled checks that batch cancellation aborts with the
 // machine name wrapped around the canceled error.
 func TestEncodeAllCanceled(t *testing.T) {

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Request is one encode request on the wire.
@@ -42,6 +43,43 @@ type Request struct {
 	IncludePLA bool `json:"include_pla,omitempty"`
 	// IncludeTelemetry attaches a telemetry summary to the Response.
 	IncludeTelemetry bool `json:"include_telemetry,omitempty"`
+	// Portfolio configures the portfolio race (Algorithm "portfolio", or
+	// an empty Algorithm with this field set). The normalized roster —
+	// defaults resolved, truncated to max_candidates — is part of the
+	// cache key; the hedging delay is a scheduling knob and is not.
+	Portfolio *WirePortfolio `json:"portfolio,omitempty"`
+}
+
+// WirePortfolio is the portfolio race configuration on the wire.
+type WirePortfolio struct {
+	// Roster lists the candidates in pick-priority order; empty selects
+	// the library default roster.
+	Roster []WireCandidate `json:"roster,omitempty"`
+	// MaxCandidates truncates the roster (0 = race everyone).
+	MaxCandidates int `json:"max_candidates,omitempty"`
+	// HedgeDelayMS delays the backup candidates' launch (milliseconds).
+	HedgeDelayMS int64 `json:"hedge_delay_ms,omitempty"`
+}
+
+// WireCandidate is one roster member on the wire.
+type WireCandidate struct {
+	Algorithm Algorithm `json:"algorithm"`
+	SeedSplit int       `json:"seed_split,omitempty"`
+}
+
+// Config translates the wire portfolio into the Options field.
+func (wp *WirePortfolio) Config() *PortfolioConfig {
+	if wp == nil {
+		return nil
+	}
+	pc := &PortfolioConfig{
+		MaxCandidates: wp.MaxCandidates,
+		HedgeDelay:    time.Duration(wp.HedgeDelayMS) * time.Millisecond,
+	}
+	for _, c := range wp.Roster {
+		pc.Roster = append(pc.Roster, PortfolioCandidate{Algorithm: c.Algorithm, SeedSplit: c.SeedSplit})
+	}
+	return pc
 }
 
 // Machine parses the request's KISS2 text (applying the Name override).
@@ -72,6 +110,7 @@ func (rq *Request) Options() Options {
 		RandomTrials: rq.RandomTrials,
 		FastMinimize: rq.FastMinimize,
 		KeepPLA:      rq.IncludePLA,
+		Portfolio:    rq.Portfolio.Config(),
 	}
 }
 
@@ -113,11 +152,30 @@ func (rq *Request) CacheKey() (string, error) {
 	io.WriteString(h, f.String())
 	alg := rq.Algorithm
 	if alg == "" {
-		alg = Best
+		if rq.Portfolio != nil {
+			alg = Portfolio
+		} else {
+			alg = Best
+		}
 	}
 	fmt.Fprintf(h, "alg=%s bits=%d maxwork=%d seed=%d trials=%d fast=%t pla=%t telemetry=%t\n",
 		alg, rq.Bits, rq.MaxWork, rq.Seed, rq.RandomTrials,
 		rq.FastMinimize, rq.IncludePLA, rq.IncludeTelemetry)
+	if alg == Portfolio {
+		// The normalized roster — defaults resolved, MaxCandidates
+		// folded in — is result-determining; the hedging delay is
+		// scheduling-only and deliberately absent, so hedged and
+		// unhedged races share cache entries.
+		pc := rq.Portfolio.Config().normalized()
+		io.WriteString(h, "portfolio=")
+		for i, c := range pc.Roster {
+			if i > 0 {
+				io.WriteString(h, ",")
+			}
+			io.WriteString(h, c.label())
+		}
+		io.WriteString(h, "\n")
+	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
@@ -220,6 +278,10 @@ type Response struct {
 	TotalOC     int `json:"oc_total,omitempty"`
 	// RandomAvgArea is the batch average for the random baseline.
 	RandomAvgArea int `json:"random_avg_area,omitempty"`
+	// Winner / WinnerSeedSplit identify the roster member whose cover a
+	// portfolio run returned (absent for every other algorithm).
+	Winner          Algorithm `json:"winner,omitempty"`
+	WinnerSeedSplit int       `json:"winner_seed_split,omitempty"`
 	// States / SymIns / SymOuts carry the code assignment.
 	States  *WireEncoding  `json:"states,omitempty"`
 	SymIns  []WireEncoding `json:"sym_ins,omitempty"`
@@ -246,9 +308,11 @@ func ResponseOf(f *FSM, res *Result) *Response {
 		Area:          res.Area,
 		WSat:          res.WSat,
 		WUnsat:        res.WUnsat,
-		SatisfiedOC:   res.SatisfiedOC,
-		TotalOC:       res.TotalOC,
-		RandomAvgArea: res.RandomAvgArea,
+		SatisfiedOC:     res.SatisfiedOC,
+		TotalOC:         res.TotalOC,
+		RandomAvgArea:   res.RandomAvgArea,
+		Winner:          res.Winner,
+		WinnerSeedSplit: res.WinnerSeedSplit,
 	}
 	if f != nil {
 		rp.Machine = f.Name
