@@ -26,7 +26,7 @@ func serveMain(ctx context.Context, addr string) int {
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx) //nolint:errcheck // best-effort drain on ^C
 	}()
-	fmt.Fprintf(os.Stderr, "nova: serving on %s (use novad for capacity knobs)\n", addr)
+	fmt.Fprintf(os.Stderr, "nova: serving on %s (metrics at /metrics; use novad for capacity knobs)\n", addr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return fail(err)
 	}

@@ -6,10 +6,17 @@
 //	novabench [-table N] [-only name,name] [-skip-huge] [-fast] [-seed S]
 //	          [-json] [-portfolio] [-phase-table] [-trace out.json]
 //	          [-cpuprofile f] [-memprofile f]
+//	novabench -compare OLD.json,NEW.json [-area-tol 0] [-time-tol 25]
 //
 // With no -table flag every experiment runs in order. Table numbers follow
 // the paper: 1-7 are Tables I-VII, 8-10 are the plot series the paper
 // prints as Tables VIII-X.
+//
+// -compare diffs two BENCH_<date>.json snapshots (written by -json /
+// -portfolio) and exits 1 when the candidate regressed: encoded area
+// grown past -area-tol percent on any machine/algorithm pair, or table
+// wall-clock grown past -time-tol percent. CI runs it non-blocking
+// against the committed baseline.
 //
 // -phase-table prints a per-machine breakdown of where the wall time went
 // (espresso / search / symbolic / mvmin) after the tables, -trace streams
@@ -53,7 +60,14 @@ func realMain() int {
 	tracePath := flag.String("trace", "", "write a JSON-lines phase trace to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
+	compare := flag.String("compare", "", "OLD.json,NEW.json: diff two BENCH snapshots and exit 1 on area/wall-clock regressions")
+	areaTol := flag.Float64("area-tol", 0, "allowed area growth in percent before -compare fails (encodes are deterministic; default 0)")
+	timeTol := flag.Float64("time-tol", 25, "allowed table wall-clock growth in percent before -compare fails")
 	flag.Parse()
+
+	if *compare != "" {
+		return compareMain(*compare, *areaTol, *timeTol)
+	}
 
 	// ^C (or the -timeout deadline) cancels in-flight encodes promptly:
 	// the context reaches the backtracking searches and espresso loops.

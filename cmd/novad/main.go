@@ -5,13 +5,17 @@
 //
 //	novad [-addr :8089] [-cache-mb 64] [-max-inflight N] [-queue-wait 100ms]
 //	      [-timeout 30s] [-max-timeout 2m] [-parallel 1] [-intra 0]
-//	      [-grace 30s] [-v]
+//	      [-grace 30s] [-recorder 32] [-access-log] [-no-request-obs] [-v]
 //
 // Endpoints, cache semantics and capacity knobs are documented in
-// docs/SERVING.md. On SIGTERM (or SIGINT) the daemon drains gracefully:
-// it stops accepting work (healthz reports 503 so load balancers fall
-// away), finishes the in-flight requests within the -grace budget, then
-// prints a final telemetry snapshot to stderr and exits.
+// docs/SERVING.md; the observability surface (GET /metrics Prometheus
+// exposition, GET /debug/requests flight recorder, request IDs, the
+// ?trace=1 opt-in) in docs/OBSERVABILITY.md. On SIGTERM (or SIGINT) the
+// daemon drains gracefully: it stops accepting work (healthz reports 503
+// so load balancers fall away), finishes the in-flight requests within
+// the -grace budget, then prints a final telemetry snapshot to stderr —
+// in which admitted == completed + failed + canceled accounts for every
+// admitted request — and exits.
 package main
 
 import (
@@ -45,22 +49,28 @@ func run() int {
 	parallel := flag.Int("parallel", 1, "worker goroutines per encode (1 = serial per request; admission owns the machine)")
 	intra := flag.Int("intra", 0, "intra-problem parallelism per encode (0/1 = off)")
 	grace := flag.Duration("grace", 30*time.Second, "drain budget for in-flight requests on SIGTERM")
+	recorder := flag.Int("recorder", 32, "flight-recorder depth: keep the N slowest and N most recent failed requests at /debug/requests (negative = off)")
+	accessLog := flag.Bool("access-log", false, "log one structured line per request (request ID, status, cache state, latency split)")
+	noReqObs := flag.Bool("no-request-obs", false, "disable per-request observability (request IDs, flight recorder, access log, ?trace=1)")
 	verbose := flag.Bool("v", false, "log every failed request and print the final counter report")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	tracer := obs.New()
 	cfg := serve.Config{
-		CacheBytes:     *cacheMB << 20,
-		MaxInflight:    *maxInflight,
-		QueueWait:      *queueWait,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Parallelism:    *parallel,
-		Intra:          *intra,
-		Tracer:         tracer,
+		CacheBytes:        *cacheMB << 20,
+		MaxInflight:       *maxInflight,
+		QueueWait:         *queueWait,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		Parallelism:       *parallel,
+		Intra:             *intra,
+		Tracer:            tracer,
+		RecorderSize:      *recorder,
+		AccessLog:         *accessLog,
+		DisableRequestObs: *noReqObs,
 	}
-	if *verbose {
+	if *verbose || *accessLog {
 		cfg.Logger = logger
 	}
 	s := serve.New(cfg)

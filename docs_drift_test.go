@@ -1,0 +1,212 @@
+package nova_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nova"
+)
+
+// glossaryKeys parses the "Counter glossary" table of
+// docs/OBSERVABILITY.md into counter keys. Shorthand and placeholders
+// follow the doc's conventions:
+//
+//   - `a.b` / `.c` means a.b and a.c (the leading-dot span replaces the
+//     last field of the previous full key);
+//   - `a.b` / `a.c` lists two full keys;
+//   - a `<placeholder>` truncates the key to its literal prefix, matched
+//     by prefix against the traced run.
+func glossaryKeys(t *testing.T) (exact map[string]bool, prefixes []string) {
+	t.Helper()
+	data, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sec, ok := strings.Cut(string(data), "## Counter glossary")
+	if !ok {
+		t.Fatal("docs/OBSERVABILITY.md lost its Counter glossary section")
+	}
+	if i := strings.Index(sec, "\n## "); i >= 0 {
+		sec = sec[:i]
+	}
+	span := regexp.MustCompile("`([^`]+)`")
+	exact = make(map[string]bool)
+	addKey := func(key string) {
+		if i := strings.IndexByte(key, '<'); i >= 0 {
+			p := key[:i]
+			if p == "" {
+				t.Fatalf("glossary key %q is all placeholder", key)
+			}
+			prefixes = append(prefixes, p)
+			return
+		}
+		exact[key] = true
+	}
+	for _, line := range strings.Split(sec, "\n") {
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cell, _, ok := strings.Cut(strings.TrimPrefix(line, "| "), " |")
+		if !ok {
+			continue
+		}
+		var prev string
+		for _, m := range span.FindAllStringSubmatch(cell, -1) {
+			key := m[1]
+			if strings.HasPrefix(key, ".") {
+				if prev == "" {
+					t.Fatalf("glossary row %q: leading-dot shorthand without a previous key", line)
+				}
+				base := prev[:strings.LastIndexByte(prev, '.')]
+				key = base + key
+			} else {
+				prev = key
+			}
+			addKey(key)
+		}
+	}
+	if len(exact)+len(prefixes) == 0 {
+		t.Fatal("no keys parsed from the glossary")
+	}
+	return exact, prefixes
+}
+
+// driftFSM is big enough to exercise the searcher (backtracks, failed
+// face checks) without slowing the test down.
+const driftFSM = `
+.i 2
+.o 2
+.s 7
+.r st0
+00 st0 st1 01
+01 st0 st2 10
+10 st0 st3 00
+11 st0 st0 11
+00 st1 st2 01
+01 st1 st4 10
+1- st1 st0 00
+00 st2 st5 11
+01 st2 st3 00
+10 st2 st1 01
+11 st2 st6 10
+0- st3 st4 01
+10 st3 st0 10
+11 st3 st5 00
+00 st4 st6 11
+01 st4 st0 01
+1- st4 st2 10
+00 st5 st0 00
+01 st5 st6 01
+1- st5 st3 11
+0- st6 st1 10
+1- st6 st5 01
+.e
+`
+
+// scheduleExempt lists glossary counters that legitimately may not fire
+// in a small deterministic run: they depend on scheduler timing (a spare
+// worker existing at the right instant) or on a race being close enough
+// to prune. The guard still fails if the doc names a counter that is
+// neither produced nor exempted — the doc-drift this test exists to
+// catch.
+var scheduleExempt = map[string]bool{
+	"pool.inline":           true, // needs a saturated pool
+	"fork.taut_forks":       true, // intra fork points need an idle worker at the instant
+	"fork.comp_forks":       true,
+	"fork.taut_branches":    true,
+	"fork.comp_branches":    true,
+	"search.spec_branches":  true, // speculative fan-out is opportunistic by design
+	"search.spec_skipped":   true,
+	"search.spec_adopted":   true,
+	"search.spec_truncated": true,
+	"search.bound_pruned":   true,
+	"portfolio.pruned":      true, // needs a candidate provably beaten mid-run
+	"portfolio.canceled":    true, // needs a candidate still running when the race ends
+}
+
+// TestGlossaryCountersAppearInTracedRun is the doc-drift guard for the
+// counter glossary: every key docs/OBSERVABILITY.md documents must be
+// produced by a real traced run (or carry a scheduling exemption above),
+// and — the reverse direction — every counter the run produces must be
+// documented.
+func TestGlossaryCountersAppearInTracedRun(t *testing.T) {
+	exact, prefixes := glossaryKeys(t)
+
+	f, err := nova.ParseKISSString(driftFSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Name = "drift"
+	tracer := nova.NewTracer()
+
+	// One portfolio race (algo.*, portfolio.won, portfolio.winner.*),
+	// then a parallel ihybrid encode on the same tracer twice (espresso,
+	// tautology memo including hits, arenas including reuses, searcher
+	// work/backtracks/checks, pool tasks/depths), all intra-enabled so
+	// the fork counters can fire where the scheduler allows.
+	if _, err := nova.Encode(f, nova.Options{Algorithm: nova.Portfolio, Tracer: tracer}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := nova.Encode(f, nova.Options{
+			Algorithm: nova.IHybrid, Parallelism: 4, IntraParallelism: 4, Tracer: tracer,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tracer.Metrics().Counters()
+
+	hasPrefix := func(key string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(key, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Forward: documented => produced (or exempt).
+	var missing []string
+	for key := range exact {
+		if _, ok := got[key]; !ok && !scheduleExempt[key] {
+			missing = append(missing, key)
+		}
+	}
+	for _, p := range prefixes {
+		found := false
+		for key := range got {
+			if strings.HasPrefix(key, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, p+"<...>")
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("glossary documents counters the traced run never produced: %v\n"+
+			"(either the counter was removed — update docs/OBSERVABILITY.md — or add a justified scheduleExempt entry)", missing)
+	}
+
+	// Reverse: produced => documented.
+	var undocumented []string
+	for key := range got {
+		if !exact[key] && !hasPrefix(key) {
+			undocumented = append(undocumented, key)
+		}
+	}
+	if len(undocumented) > 0 {
+		t.Errorf("traced run produced counters missing from the docs/OBSERVABILITY.md glossary: %v", undocumented)
+	}
+
+	// Exemptions must stay real glossary keys (a stale exemption is doc
+	// drift too).
+	for key := range scheduleExempt {
+		if !exact[key] {
+			t.Errorf("scheduleExempt entry %q is not in the glossary", key)
+		}
+	}
+}

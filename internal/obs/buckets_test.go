@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// TestBucketUpper pins the single source of truth for histogram bucket
+// edges: bucket 0 holds only 0, bucket i holds values through 2^i - 1,
+// and the last bucket is unbounded.
+func TestBucketUpper(t *testing.T) {
+	cases := []struct {
+		i    int
+		want int64
+	}{
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{3, 7},
+		{10, 1023},
+		{63, math.MaxInt64}, // 2^63 - 1 happens to equal MaxInt64
+		{NumBuckets - 1, math.MaxInt64},
+		{NumBuckets + 5, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := BucketUpper(c.i); got != c.want {
+			t.Fatalf("BucketUpper(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+	// The edges must be non-decreasing and consistent with the observe
+	// rule (bucket index = bits.Len64): every value lands in the first
+	// bucket whose upper bound admits it.
+	for i := 1; i < NumBuckets; i++ {
+		if BucketUpper(i) < BucketUpper(i-1) {
+			t.Fatalf("edges decrease at %d", i)
+		}
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	if got := BucketLabel(NumBuckets - 1); got != "+Inf" {
+		t.Fatalf("last label = %q, want +Inf", got)
+	}
+	if got := BucketLabel(0); got != "0" {
+		t.Fatalf("label(0) = %q", got)
+	}
+	if got := BucketLabel(4); got != "15" {
+		t.Fatalf("label(4) = %q, want 15", got)
+	}
+}
+
+// TestVarsBucketSeries checks the cumulative <name>.le.<bound> series
+// Vars emits for histograms: cumulative counts on BucketLabel edges,
+// consistent with .count.
+func TestVarsBucketSeries(t *testing.T) {
+	var m Metrics
+	for _, v := range []int64{0, 1, 2, 3, 100, 100, 5000} {
+		m.Observe("lat", v)
+	}
+	vars := m.Vars()
+	if vars["lat.count"] != 7 {
+		t.Fatalf("count = %d", vars["lat.count"])
+	}
+	// v==0 → bucket 0 (le.0); v==1 → le.1; 2,3 → le.3; 100 ×2 → le.127;
+	// 5000 → le.8191. Series are cumulative.
+	wants := map[string]int64{
+		"lat.le.0":    1,
+		"lat.le.1":    2,
+		"lat.le.3":    4,
+		"lat.le.127":  6,
+		"lat.le.8191": 7,
+	}
+	for k, want := range wants {
+		if vars[k] != want {
+			t.Fatalf("%s = %d, want %d (vars %v)", k, vars[k], want, vars)
+		}
+	}
+	// Cumulative series must be non-decreasing across ascending bounds
+	// and top out at the count.
+	var last, top int64
+	for i := 0; i < NumBuckets-1; i++ {
+		k := "lat.le." + BucketLabel(i)
+		v, ok := vars[k]
+		if !ok {
+			continue
+		}
+		if v < last {
+			t.Fatalf("%s = %d decreases below %d", k, v, last)
+		}
+		last, top = v, v
+	}
+	if top != vars["lat.count"] {
+		t.Fatalf("largest cumulative bucket %d != count %d", top, vars["lat.count"])
+	}
+}
+
+// TestHistogramsCopy checks Histograms returns an independent snapshot.
+func TestHistogramsCopy(t *testing.T) {
+	var m *Metrics
+	if m.Histograms() != nil {
+		t.Fatal("nil metrics should return nil")
+	}
+	m = &Metrics{}
+	if m.Histograms() != nil {
+		t.Fatal("no histograms should return nil")
+	}
+	m.Observe("h", 9)
+	snap := m.Histograms()
+	h, ok := snap["h"]
+	if !ok || h.Count != 1 || h.Sum != 9 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	m.Observe("h", 9)
+	if snap["h"].Count != 1 {
+		t.Fatal("snapshot aliases the live histogram")
+	}
+	if strconv.FormatInt(h.MaxV, 10) != "9" {
+		t.Fatalf("max %d", h.MaxV)
+	}
+}

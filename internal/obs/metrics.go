@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,6 +113,35 @@ type Hist struct {
 	MaxV    int64
 }
 
+// NumBuckets is the bucket count of every Hist.
+const NumBuckets = 65
+
+// BucketUpper returns the inclusive upper bound of bucket i: bucket 0
+// holds only 0, bucket i≥1 holds values up to 2^i - 1, and the last
+// bucket is unbounded (math.MaxInt64, rendered as +Inf). This is the
+// single source of truth for bucket edges: the Prometheus exposition
+// writer and the /debug/vars bucket series both render the edges it
+// returns, so the two views can never drift apart.
+func BucketUpper(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumBuckets-1:
+		return math.MaxInt64
+	default:
+		return 1<<uint(i) - 1
+	}
+}
+
+// BucketLabel renders bucket i's upper bound for exposition: the decimal
+// bound for the finite buckets, "+Inf" for the last.
+func BucketLabel(i int) string {
+	if i >= NumBuckets-1 {
+		return "+Inf"
+	}
+	return strconv.FormatInt(BucketUpper(i), 10)
+}
+
 func (h *Hist) observe(v int64) {
 	if v < 0 {
 		v = 0
@@ -157,10 +188,12 @@ func (m *Metrics) Counters() map[string]int64 {
 	return out
 }
 
-// Vars returns every counter plus a flat summary of every histogram
-// (<name>.count / .sum / .max), the form the serving layer exposes under
-// /debug/vars. Counters() stays histogram-free so run reports keep their
-// shape.
+// Vars returns every counter plus a flat summary of every histogram —
+// <name>.count / .sum / .max and one <name>.le.<bound> series per
+// non-empty bucket (cumulative, bounds from BucketLabel, so /debug/vars
+// and the Prometheus exposition render identical edges) — the form the
+// serving layer exposes under /debug/vars. Counters() stays
+// histogram-free so run reports keep their shape.
 func (m *Metrics) Vars() map[string]int64 {
 	if m == nil {
 		return nil
@@ -171,8 +204,34 @@ func (m *Metrics) Vars() map[string]int64 {
 		out[k+".count"] = h.Count
 		out[k+".sum"] = h.Sum
 		out[k+".max"] = h.MaxV
+		var cum int64
+		for i, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			cum += n
+			out[k+".le."+BucketLabel(i)] = cum
+		}
 	}
 	m.mu.Unlock()
+	return out
+}
+
+// Histograms returns a point-in-time copy of every named histogram,
+// keyed by name. Safe to call while the run is in flight.
+func (m *Metrics) Histograms() map[string]Hist {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.hists) == 0 {
+		return nil
+	}
+	out := make(map[string]Hist, len(m.hists))
+	for k, h := range m.hists {
+		out[k] = *h
+	}
 	return out
 }
 

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nova"
+)
+
+// servingGlossaryKeys parses the "Serving counter glossary" table of
+// docs/OBSERVABILITY.md into exact keys and placeholder prefixes,
+// following the doc's conventions: `a.b` / `.c` means a.b and a.c, and
+// a `<placeholder>` truncates the key to its literal prefix.
+func servingGlossaryKeys(t *testing.T) (exact map[string]bool, prefixes []string) {
+	t.Helper()
+	data, err := os.ReadFile("../../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sec, ok := strings.Cut(string(data), "### Serving counter glossary")
+	if !ok {
+		t.Fatal("docs/OBSERVABILITY.md lost its Serving counter glossary section")
+	}
+	if i := strings.Index(sec, "\n## "); i >= 0 {
+		sec = sec[:i]
+	}
+	span := regexp.MustCompile("`([^`]+)`")
+	exact = make(map[string]bool)
+	for _, line := range strings.Split(sec, "\n") {
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cell, _, ok := strings.Cut(strings.TrimPrefix(line, "| "), " |")
+		if !ok {
+			continue
+		}
+		var prev string
+		for _, m := range span.FindAllStringSubmatch(cell, -1) {
+			key := m[1]
+			if strings.HasPrefix(key, ".") {
+				if prev == "" {
+					t.Fatalf("glossary row %q: leading-dot shorthand without a previous key", line)
+				}
+				key = prev[:strings.LastIndexByte(prev, '.')] + key
+			} else {
+				prev = key
+			}
+			if i := strings.IndexByte(key, '<'); i >= 0 {
+				if key[:i] == "" {
+					t.Fatalf("glossary key %q is all placeholder", key)
+				}
+				prefixes = append(prefixes, key[:i])
+				continue
+			}
+			exact[key] = true
+		}
+	}
+	if len(exact)+len(prefixes) == 0 {
+		t.Fatal("no keys parsed from the serving glossary")
+	}
+	return exact, prefixes
+}
+
+// servingPrefixes are the Vars() namespaces owned by the serving layer;
+// keys outside them belong to the engine glossary (guarded by the
+// root-package doc-drift test).
+var servingPrefixes = []string{"http.", "cache.", "engine.", "flight.", "serve.", "server."}
+
+// TestServingGlossaryMatchesVars is the doc-drift guard for the serving
+// counter glossary: after real mixed traffic (miss, hit, failure,
+// refusal, drain) every key the doc lists must appear in Vars(), and
+// every serving-namespace key Vars() reports must be documented.
+func TestServingGlossaryMatchesVars(t *testing.T) {
+	exact, prefixes := servingGlossaryKeys(t)
+
+	s := New(Config{})
+	rq := nova.Request{KISS2: quickFSM, Name: "quick", Algorithm: nova.IGreedy}
+	body, _ := json.Marshal(rq)
+	if w := post(s, "/v1/encode", bytes.NewReader(body)); w.Code != http.StatusOK {
+		t.Fatalf("miss: %d %s", w.Code, w.Body)
+	}
+	if w := post(s, "/v1/encode", bytes.NewReader(body)); w.Code != http.StatusOK {
+		t.Fatalf("hit: %d", w.Code)
+	}
+	if w := post(s, "/v1/encode", bytes.NewReader([]byte("{"))); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", w.Code)
+	}
+	// Draining refusals tick http.rejected.draining and server.draining,
+	// so even those rows stay honest.
+	s.Drain()
+	if w := post(s, "/v1/encode", bytes.NewReader(body)); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining refusal: %d", w.Code)
+	}
+
+	got := s.Vars()
+	hasPrefix := func(key string, ps []string) bool {
+		for _, p := range ps {
+			if strings.HasPrefix(key, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Forward: documented => present.
+	var missing []string
+	for key := range exact {
+		if _, ok := got[key]; !ok {
+			missing = append(missing, key)
+		}
+	}
+	for _, p := range prefixes {
+		found := false
+		for key := range got {
+			if strings.HasPrefix(key, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, p+"<...>")
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("serving glossary documents counters Vars() never produced: %v\n"+
+			"(either the counter was removed — update docs/OBSERVABILITY.md — or the test traffic no longer reaches it)", missing)
+	}
+
+	// Reverse: every serving-namespace key => documented.
+	var undocumented []string
+	for key := range got {
+		if !hasPrefix(key, servingPrefixes) {
+			continue
+		}
+		if !exact[key] && !hasPrefix(key, prefixes) {
+			undocumented = append(undocumented, key)
+		}
+	}
+	if len(undocumented) > 0 {
+		t.Errorf("Vars() produced serving counters missing from the docs/OBSERVABILITY.md serving glossary: %v", undocumented)
+	}
+}

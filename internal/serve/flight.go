@@ -23,8 +23,10 @@ type flights struct {
 	mu sync.Mutex
 	m  map[string]*flight
 
-	// shared counts follower joins (for the singleflight metrics).
+	// shared counts follower joins, leads counts runs actually led (for
+	// the singleflight metrics: leader/follower split).
 	shared int64
+	leads  int64
 }
 
 type flight struct {
@@ -58,6 +60,7 @@ func (fs *flights) Do(ctx context.Context, key string, fn func() ([]byte, error)
 		}
 		fl := &flight{done: make(chan struct{})}
 		fs.m[key] = fl
+		fs.leads++
 		fs.mu.Unlock()
 		fl.val, fl.err = fn()
 		fs.mu.Lock()
@@ -73,4 +76,12 @@ func (fs *flights) Shared() int64 {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.shared
+}
+
+// Leads reports how many flights were actually led (one per engine run
+// that went through the singleflight, takeovers included).
+func (fs *flights) Leads() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.leads
 }

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"nova/internal/obs"
+)
+
+// Prometheus text exposition (version 0.0.4), stdlib-only: the server's
+// counters and histograms rendered as cumulative _bucket/_sum/_count
+// series. The data comes from the very same obs.Metrics the /debug/vars
+// endpoint reads — one source of truth, two formats — and the bucket
+// edges come from obs.BucketLabel, shared with the Vars() bucket series,
+// so the two views can never disagree about an edge.
+//
+// Name scheme: the dotted internal names map onto a small set of stable
+// families with labels (endpoint, stage, code, kind, role, outcome);
+// any counter without a dedicated family is still exported, as
+// nova_counter{name="<dotted>"}, so nothing visible at /debug/vars is
+// missing from /metrics.
+
+// promSeries is one sample line: rendered label set and value.
+type promSeries struct {
+	labels string // `{endpoint="/v1/encode"}` or ""
+	value  int64
+}
+
+// promFamily is one metric family: a TYPE and its series. Histogram
+// families hold their obs.Hist values instead of scalar series.
+type promFamily struct {
+	typ    string // counter | gauge | histogram | untyped
+	help   string
+	series []promSeries
+	hists  []promHist
+}
+
+type promHist struct {
+	labels string // without the le label; "" for none
+	h      obs.Hist
+}
+
+// promState accumulates families keyed by name during a render.
+type promState map[string]*promFamily
+
+func (ps promState) add(name, typ, help, labels string, v int64) {
+	f := ps[name]
+	if f == nil {
+		f = &promFamily{typ: typ, help: help}
+		ps[name] = f
+	}
+	f.series = append(f.series, promSeries{labels: labels, value: v})
+}
+
+func (ps promState) addHist(name, help, labels string, h obs.Hist) {
+	f := ps[name]
+	if f == nil {
+		f = &promFamily{typ: "histogram", help: help}
+		ps[name] = f
+	}
+	f.hists = append(f.hists, promHist{labels: labels, h: h})
+}
+
+// promLabel renders one escaped label pair.
+func promLabel(key, val string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return key + `="` + r.Replace(val) + `"`
+}
+
+func promLabels(pairs ...string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// promSanitize maps a dotted internal name onto a legal metric name.
+func promSanitize(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// latencyStage classifies a histogram name into the request-duration
+// family: http.latency.<ep> (total), http.queue_wait.<ep> (queue),
+// http.encode.<ep> (encode). Other names return ok=false.
+func latencyStage(name string) (endpoint, stage string, ok bool) {
+	for _, p := range []struct{ prefix, stage string }{
+		{"http.latency.", "total"},
+		{"http.queue_wait.", "queue"},
+		{"http.encode.", "encode"},
+	} {
+		if strings.HasPrefix(name, p.prefix) {
+			return name[len(p.prefix):], p.stage, true
+		}
+	}
+	return "", "", false
+}
+
+// promCounterFamily maps one dotted counter onto its family. The
+// fallthrough family nova_counter{name=...} keeps /metrics a superset of
+// the /debug/vars counters even for names this table predates.
+func (ps promState) addCounter(key string, v int64) {
+	switch {
+	case key == "http.requests":
+		ps.add("nova_http_requests_total", "counter", "Requests arriving at the admitted endpoints.", "", v)
+	case strings.HasPrefix(key, "http.requests."):
+		ps.add("nova_http_endpoint_requests_total", "counter", "Requests per endpoint.",
+			promLabels(promLabel("endpoint", key[len("http.requests."):])), v)
+	case strings.HasPrefix(key, "http.status."):
+		ps.add("nova_http_responses_total", "counter", "Responses by HTTP status code.",
+			promLabels(promLabel("code", key[len("http.status."):])), v)
+	case strings.HasPrefix(key, "http.errors."):
+		// http.errors.<endpoint>.<kind> — the kind is the last dot field.
+		rest := key[len("http.errors."):]
+		i := strings.LastIndexByte(rest, '.')
+		if i <= 0 {
+			ps.add("nova_counter", "untyped", "Unclassified counters (name label is the /debug/vars key).",
+				promLabels(promLabel("name", key)), v)
+			return
+		}
+		ps.add("nova_http_request_errors_total", "counter", "Failed requests by endpoint and wire error kind.",
+			promLabels(promLabel("endpoint", rest[:i]), promLabel("kind", rest[i+1:])), v)
+	case strings.HasPrefix(key, "http.rejected."):
+		ps.add("nova_http_rejected_total", "counter", "Requests refused before admission.",
+			promLabels(promLabel("reason", key[len("http.rejected."):])), v)
+	case key == "http.inflight_max":
+		ps.add("nova_http_inflight_max", "gauge", "High-water mark of concurrently admitted requests.", "", v)
+	default:
+		ps.add("nova_counter", "untyped", "Unclassified counters (name label is the /debug/vars key).",
+			promLabels(promLabel("name", key)), v)
+	}
+}
+
+// writeProm renders the full exposition. Families and series emit in
+// sorted order so the output is deterministic, and every # TYPE line
+// precedes all series of its family by construction.
+func (s *Server) writeProm(w io.Writer) {
+	ps := promState{}
+	m := s.Metrics()
+	for key, v := range m.Counters() {
+		ps.addCounter(key, v)
+	}
+	for name, h := range m.Histograms() {
+		if ep, stage, ok := latencyStage(name); ok {
+			ps.addHist("nova_http_request_duration_microseconds",
+				"Request latency split by stage: queue (admission wait), encode (engine time of led runs), total (handler time).",
+				promLabels(promLabel("endpoint", ep), promLabel("stage", stage)), h)
+			continue
+		}
+		ps.addHist("nova_"+promSanitize(name), "Histogram "+name+".", "", h)
+	}
+
+	cs := s.cache.Stats()
+	ps.add("nova_cache_hits_total", "counter", "Result-cache hits.", "", cs.Hits)
+	ps.add("nova_cache_misses_total", "counter", "Result-cache misses.", "", cs.Misses)
+	ps.add("nova_cache_evictions_total", "counter", "Result-cache LRU evictions.", "", cs.Evictions)
+	ps.add("nova_cache_bytes", "gauge", "Result-cache payload bytes held.", "", cs.Bytes)
+	ps.add("nova_cache_entries", "gauge", "Result-cache entries held.", "", cs.Entries)
+	ps.add("nova_singleflight_requests_total", "counter", "Cache-miss runs by singleflight role.",
+		promLabels(promLabel("role", "leader")), s.flights.Leads())
+	ps.add("nova_singleflight_requests_total", "counter", "Cache-miss runs by singleflight role.",
+		promLabels(promLabel("role", "follower")), s.flights.Shared())
+	ps.add("nova_engine_encodes_total", "counter", "Engine runs actually executed (cache misses that led).", "", s.encodes.Load())
+	ps.add("nova_http_admitted_total", "counter", "Requests admitted past the semaphore.", "", s.admitted.Load())
+	for _, oc := range []struct {
+		name string
+		v    int64
+	}{
+		{"completed", s.completed.Load()},
+		{"failed", s.failed.Load()},
+		{"canceled", s.canceled.Load()},
+	} {
+		ps.add("nova_http_admitted_outcomes_total", "counter", "Admitted requests by final outcome.",
+			promLabels(promLabel("outcome", oc.name)), oc.v)
+	}
+	ps.add("nova_http_inflight", "gauge", "Requests currently admitted.", "", s.inflight.Load())
+	var draining int64
+	if s.draining.Load() {
+		draining = 1
+	}
+	ps.add("nova_server_draining", "gauge", "1 while the server refuses new work (drain).", "", draining)
+
+	names := make([]string, 0, len(ps))
+	for name := range ps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := ps[name]
+		fmt.Fprintf(w, "# HELP %s %s\n", name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ)
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		for _, se := range f.series {
+			fmt.Fprintf(w, "%s%s %d\n", name, se.labels, se.value)
+		}
+		sort.Slice(f.hists, func(i, j int) bool { return f.hists[i].labels < f.hists[j].labels })
+		for _, ph := range f.hists {
+			writePromHist(w, name, ph)
+		}
+	}
+}
+
+// writePromHist emits one histogram's cumulative buckets, sum and count.
+// Bucket edges are obs.BucketLabel — the exact edges /debug/vars renders
+// as <name>.le.<bound>. Trailing all-zero buckets collapse into +Inf.
+func writePromHist(w io.Writer, name string, ph promHist) {
+	sep, close_ := "{", "}"
+	if ph.labels != "" {
+		// splice le into the existing label set
+		sep, close_ = ph.labels[:len(ph.labels)-1]+",", "}"
+	}
+	var cum int64
+	last := 0
+	for i, n := range ph.h.Buckets {
+		if n != 0 {
+			last = i
+		}
+	}
+	for i := 0; i <= last && i < obs.NumBuckets-1; i++ {
+		cum += ph.h.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket%sle=\"%s\"%s %d\n", name, sep, obs.BucketLabel(i), close_, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"%s %d\n", name, sep, close_, ph.h.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, ph.labels, ph.h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, ph.labels, ph.h.Count)
+}

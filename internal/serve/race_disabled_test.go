@@ -1,0 +1,6 @@
+//go:build !race
+
+package serve
+
+// raceEnabled is false in a regular build; see race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the test binary was built with the race
+// detector. AllocsPerRun counts are noise there (the race runtime
+// allocates on its own schedule), so the zero-alloc guards skip
+// themselves; the non-race runs keep them enforced.
+const raceEnabled = true

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nova"
+)
+
+// RequestRecord is one request in the flight recorder: everything needed
+// to answer "which request was slow (or failed) and why" after the fact,
+// without having had tracing globally enabled. Served as JSON at
+// GET /debug/requests.
+type RequestRecord struct {
+	ID       string    `json:"id,omitempty"`
+	Endpoint string    `json:"endpoint"`
+	Time     time.Time `json:"time"` // wall-clock arrival
+	Status   int       `json:"status"`
+	// Cache is how the content-addressed path answered: "hit" (served
+	// from cache), "miss" (this request led the engine run), "follower"
+	// (shared another request's singleflight run), or "" (no cache path,
+	// e.g. /v1/verify).
+	Cache string `json:"cache,omitempty"`
+	// Machine is the cache-key digest prefix — the content address of
+	// the KISS2 source × options, so identical requests correlate.
+	Machine   string `json:"machine,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
+	// The latency split: admission queue wait, engine time (led runs
+	// only), and handler total.
+	QueueMicros  int64 `json:"queue_us"`
+	EncodeMicros int64 `json:"encode_us,omitempty"`
+	TotalMicros  int64 `json:"total_us"`
+	// Phases is the per-phase self-time table of the engine run, present
+	// when the request opted into tracing (?trace=1) or asked for
+	// include_telemetry.
+	Phases []nova.WirePhase `json:"phases,omitempty"`
+}
+
+// failed reports whether the record belongs in the failure ring.
+func (r *RequestRecord) failed() bool {
+	return r.Status >= 400 || r.Status == 0 || r.ErrorKind != ""
+}
+
+// recorder is the bounded slow/error flight recorder: one fixed-size set
+// of the slowest requests seen and one ring of the most recent failures.
+// It is lock-cheap by design: once the slow set is full, a successful
+// request no slower than the set's floor (an atomic) returns without
+// taking the mutex — the steady-state path of a healthy server under
+// load. Traced requests bypass the floor so an explicit ?trace=1 is
+// always findable at /debug/requests afterwards.
+type recorder struct {
+	cap int
+	// floor is the slow set's admission threshold in microseconds once
+	// the set is full; -1 while it still has room.
+	floor atomic.Int64
+
+	mu    sync.Mutex
+	slow  []RequestRecord
+	fails []RequestRecord // ring, oldest at next
+	next  int
+}
+
+// newRecorder returns a recorder keeping the n slowest and n most recent
+// failed requests. n <= 0 disables recording (consider becomes a no-op
+// and snapshots are empty).
+func newRecorder(n int) *recorder {
+	rc := &recorder{cap: n}
+	rc.floor.Store(-1)
+	return rc
+}
+
+// consider offers one finished request to the recorder.
+func (rc *recorder) consider(rec RequestRecord) {
+	if rc == nil || rc.cap <= 0 {
+		return
+	}
+	failed := rec.failed()
+	// Lock-free fast path: healthy, not slower than the full slow set's
+	// floor, and not explicitly traced — nothing to record.
+	if !failed && rec.Phases == nil && rec.TotalMicros <= rc.floor.Load() {
+		return
+	}
+	rc.mu.Lock()
+	if failed {
+		if len(rc.fails) < rc.cap {
+			rc.fails = append(rc.fails, rec)
+		} else {
+			rc.fails[rc.next] = rec
+			rc.next = (rc.next + 1) % rc.cap
+		}
+	}
+	if len(rc.slow) < rc.cap {
+		rc.slow = append(rc.slow, rec)
+		if len(rc.slow) == rc.cap {
+			rc.floor.Store(rc.slowFloorLocked())
+		}
+	} else {
+		mi := 0
+		for i := range rc.slow {
+			if rc.slow[i].TotalMicros < rc.slow[mi].TotalMicros {
+				mi = i
+			}
+		}
+		if rec.TotalMicros > rc.slow[mi].TotalMicros || rec.Phases != nil {
+			rc.slow[mi] = rec
+			rc.floor.Store(rc.slowFloorLocked())
+		}
+	}
+	rc.mu.Unlock()
+}
+
+// slowFloorLocked returns the smallest total in the slow set.
+func (rc *recorder) slowFloorLocked() int64 {
+	floor := rc.slow[0].TotalMicros
+	for _, r := range rc.slow[1:] {
+		if r.TotalMicros < floor {
+			floor = r.TotalMicros
+		}
+	}
+	return floor
+}
+
+// RecorderSnapshot is the GET /debug/requests payload.
+type RecorderSnapshot struct {
+	// Slowest lists the slowest requests seen, slowest first.
+	Slowest []RequestRecord `json:"slowest"`
+	// RecentFailures lists the most recent failed requests, newest first.
+	RecentFailures []RequestRecord `json:"recent_failures"`
+}
+
+// snapshot copies the recorder's state, sorted for presentation. The
+// optional id filter keeps only records of that request ID (the
+// companion of the ?trace=1 opt-in: trace a request, then fetch its
+// phase table by ID).
+func (rc *recorder) snapshot(id string) RecorderSnapshot {
+	snap := RecorderSnapshot{Slowest: []RequestRecord{}, RecentFailures: []RequestRecord{}}
+	if rc == nil || rc.cap <= 0 {
+		return snap
+	}
+	rc.mu.Lock()
+	snap.Slowest = append(snap.Slowest, rc.slow...)
+	// Unroll the ring newest-first: entries before next are older.
+	for i := 0; i < len(rc.fails); i++ {
+		j := (rc.next - 1 - i + 2*len(rc.fails)) % len(rc.fails)
+		if len(rc.fails) < rc.cap {
+			// Not yet a ring: plain append order, newest at the end.
+			j = len(rc.fails) - 1 - i
+		}
+		snap.RecentFailures = append(snap.RecentFailures, rc.fails[j])
+	}
+	rc.mu.Unlock()
+	sort.SliceStable(snap.Slowest, func(i, j int) bool {
+		return snap.Slowest[i].TotalMicros > snap.Slowest[j].TotalMicros
+	})
+	if id != "" {
+		snap.Slowest = filterByID(snap.Slowest, id)
+		snap.RecentFailures = filterByID(snap.RecentFailures, id)
+	}
+	return snap
+}
+
+func filterByID(recs []RequestRecord, id string) []RequestRecord {
+	out := recs[:0:0]
+	for _, r := range recs {
+		if r.ID == id {
+			out = append(out, r)
+		}
+	}
+	if out == nil {
+		out = []RequestRecord{}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"testing"
+
+	"nova"
+)
+
+func slowRec(id string, totalMicros int64) RequestRecord {
+	return RequestRecord{ID: id, Endpoint: "/v1/encode", Status: 200, TotalMicros: totalMicros}
+}
+
+func failRec(id string, status int) RequestRecord {
+	return RequestRecord{ID: id, Endpoint: "/v1/encode", Status: status, ErrorKind: "internal"}
+}
+
+// TestRecorderSlowSet fills the slow set past capacity and checks it
+// keeps exactly the slowest requests, served slowest-first.
+func TestRecorderSlowSet(t *testing.T) {
+	rc := newRecorder(3)
+	for i, us := range []int64{10, 50, 20, 40, 30, 5} {
+		rc.consider(slowRec("r"+string(rune('a'+i)), us))
+	}
+	snap := rc.snapshot("")
+	if len(snap.Slowest) != 3 {
+		t.Fatalf("slowest holds %d, want 3", len(snap.Slowest))
+	}
+	got := []int64{snap.Slowest[0].TotalMicros, snap.Slowest[1].TotalMicros, snap.Slowest[2].TotalMicros}
+	if got[0] != 50 || got[1] != 40 || got[2] != 30 {
+		t.Fatalf("slowest totals %v, want [50 40 30]", got)
+	}
+	if len(snap.RecentFailures) != 0 {
+		t.Fatalf("failures %v for healthy traffic", snap.RecentFailures)
+	}
+}
+
+// TestRecorderFloorFastPath checks the steady-state fast path: once the
+// slow set is full, a healthy request at or under the floor must be
+// rejected without changing the set — and without the mutex, which the
+// alloc guard in TestRequestObsDisabledAllocFree leans on.
+func TestRecorderFloorFastPath(t *testing.T) {
+	rc := newRecorder(2)
+	rc.consider(slowRec("a", 100))
+	if rc.floor.Load() != -1 {
+		t.Fatal("floor set before the slow set filled")
+	}
+	rc.consider(slowRec("b", 200))
+	if got := rc.floor.Load(); got != 100 {
+		t.Fatalf("floor = %d, want 100", got)
+	}
+	rc.consider(slowRec("c", 100)) // == floor: rejected
+	snap := rc.snapshot("")
+	for _, r := range snap.Slowest {
+		if r.ID == "c" {
+			t.Fatal("at-floor request displaced a slow entry")
+		}
+	}
+	rc.consider(slowRec("d", 150)) // above floor: replaces the 100
+	if got := rc.floor.Load(); got != 150 {
+		t.Fatalf("floor after replacement = %d, want 150", got)
+	}
+}
+
+// TestRecorderFailureRing wraps the failure ring and checks newest-first
+// order in the snapshot.
+func TestRecorderFailureRing(t *testing.T) {
+	rc := newRecorder(3)
+	for _, id := range []string{"f1", "f2", "f3", "f4", "f5"} {
+		rc.consider(failRec(id, 500))
+	}
+	snap := rc.snapshot("")
+	if len(snap.RecentFailures) != 3 {
+		t.Fatalf("failures %d, want 3", len(snap.RecentFailures))
+	}
+	for i, want := range []string{"f5", "f4", "f3"} {
+		if snap.RecentFailures[i].ID != want {
+			t.Fatalf("failures[%d] = %q, want %q (%v)", i, snap.RecentFailures[i].ID, want, snap.RecentFailures)
+		}
+	}
+}
+
+// TestRecorderTracedBypassesFloor: an explicitly traced request must be
+// findable afterwards even when it was faster than the slow floor.
+func TestRecorderTracedBypassesFloor(t *testing.T) {
+	rc := newRecorder(2)
+	rc.consider(slowRec("a", 1000))
+	rc.consider(slowRec("b", 2000))
+	traced := slowRec("t", 1)
+	traced.Phases = []nova.WirePhase{{Name: "espresso.minimize", Count: 1, TotalMicros: 1}}
+	rc.consider(traced)
+	snap := rc.snapshot("t")
+	if len(snap.Slowest) != 1 || snap.Slowest[0].ID != "t" {
+		t.Fatalf("traced request not recorded: %+v", snap)
+	}
+	if len(snap.Slowest[0].Phases) != 1 {
+		t.Fatal("phase table lost")
+	}
+}
+
+// TestRecorderStatusZeroIsFailure: a request that wrote nothing (client
+// gone) lands in the failure ring.
+func TestRecorderStatusZeroIsFailure(t *testing.T) {
+	rc := newRecorder(2)
+	rc.consider(RequestRecord{ID: "gone", Endpoint: "/v1/encode", Status: 0})
+	snap := rc.snapshot("")
+	if len(snap.RecentFailures) != 1 || snap.RecentFailures[0].ID != "gone" {
+		t.Fatalf("canceled request not in failures: %+v", snap)
+	}
+}
+
+// TestRecorderDisabled: size <= 0 must be inert.
+func TestRecorderDisabled(t *testing.T) {
+	rc := newRecorder(0)
+	rc.consider(slowRec("a", 100))
+	rc.consider(failRec("b", 500))
+	snap := rc.snapshot("")
+	if len(snap.Slowest) != 0 || len(snap.RecentFailures) != 0 {
+		t.Fatalf("disabled recorder recorded: %+v", snap)
+	}
+	var nilRC *recorder
+	nilRC.consider(slowRec("a", 1)) // must not panic
+	if s := nilRC.snapshot(""); s.Slowest == nil || s.RecentFailures == nil {
+		t.Fatal("nil recorder snapshot must have empty (non-nil) slices for JSON")
+	}
+}
+
+// TestRecorderIDFilter narrows a snapshot to one request ID.
+func TestRecorderIDFilter(t *testing.T) {
+	rc := newRecorder(4)
+	rc.consider(slowRec("a", 10))
+	rc.consider(slowRec("b", 20))
+	rc.consider(failRec("b", 500))
+	snap := rc.snapshot("b")
+	// The failure also occupies a slow slot (the set had room), so the
+	// filter returns both of b's records — and none of a's.
+	if len(snap.Slowest) != 2 {
+		t.Fatalf("slowest filter: %+v", snap.Slowest)
+	}
+	for _, r := range snap.Slowest {
+		if r.ID != "b" {
+			t.Fatalf("filter leaked %+v", r)
+		}
+	}
+	if len(snap.RecentFailures) != 1 || snap.RecentFailures[0].ID != "b" {
+		t.Fatalf("failures filter: %+v", snap.RecentFailures)
+	}
+	if s := rc.snapshot("zzz"); len(s.Slowest) != 0 || s.Slowest == nil {
+		t.Fatalf("no-match filter should be empty non-nil: %+v", s.Slowest)
+	}
+}

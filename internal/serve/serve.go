@@ -79,8 +79,25 @@ type Config struct {
 	// is created when nil. Expose it with obs.PublishExpvar or read
 	// /debug/vars.
 	Tracer *obs.Tracer
-	// Logger, when non-nil, receives one structured line per request.
+	// Logger, when non-nil, receives one structured warning per failed
+	// request — and, with AccessLog, one access line per request.
 	Logger *slog.Logger
+	// AccessLog emits one structured Info line per admitted request to
+	// Logger: request ID, endpoint, status, cache state, machine hash,
+	// and the queue/encode/total latency split.
+	AccessLog bool
+	// RecorderSize caps each ring of the slow/error flight recorder
+	// served at GET /debug/requests (the N slowest and the N most recent
+	// failed requests). 0 selects the default 32; negative disables the
+	// recorder.
+	RecorderSize int
+	// DisableRequestObs turns off the per-request observability
+	// decoration: request IDs, the flight recorder, the access log, and
+	// the ?trace=1 opt-in. RED metrics and the drain accounting stay on
+	// (they are plain counters with no per-request heap cost). The
+	// disabled path performs no per-request observability allocation —
+	// guarded by TestRequestObsDisabledAllocFree.
+	DisableRequestObs bool
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +128,12 @@ func (c Config) withDefaults() Config {
 	if c.Tracer == nil {
 		c.Tracer = obs.New()
 	}
+	if c.RecorderSize == 0 {
+		c.RecorderSize = 32
+	}
+	if c.RecorderSize < 0 {
+		c.RecorderSize = 0
+	}
 	return c
 }
 
@@ -122,15 +145,28 @@ type verifyFunc func(ctx context.Context, f *nova.FSM, asg nova.Assignment) erro
 // Server is the HTTP serving layer. Create with New; it implements
 // http.Handler.
 type Server struct {
-	cfg     Config
-	cache   *Cache
-	flights flights
-	sem     chan struct{}
-	pool    *sched.Pool // batch fan-out, sized like the admission bound
+	cfg      Config
+	cache    *Cache
+	flights  flights
+	sem      chan struct{}
+	pool     *sched.Pool // batch fan-out, sized like the admission bound
+	recorder *recorder   // slow/error flight recorder (GET /debug/requests)
 
 	draining atomic.Bool
 	inflight atomic.Int64
 	encodes  atomic.Int64 // actual engine runs (cache misses that ran)
+
+	// Drain accounting: every request admitted past the semaphore ends
+	// as exactly one of completed (2xx/3xx), failed (4xx/5xx) or
+	// canceled (client gone / nothing written), so a final snapshot
+	// always satisfies admitted == completed + failed + canceled.
+	admitted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+
+	ridPrefix string // per-process request-ID prefix
+	ridSeq    atomic.Uint64
 
 	mux    *http.ServeMux
 	encode encodeFunc
@@ -141,19 +177,23 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		cache:  NewCache(cfg.CacheBytes),
-		sem:    make(chan struct{}, cfg.MaxInflight),
-		pool:   sched.New(cfg.MaxInflight),
-		encode: nova.EncodeContext,
-		verify: nova.VerifyContext,
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheBytes),
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		pool:      sched.New(cfg.MaxInflight),
+		recorder:  newRecorder(cfg.RecorderSize),
+		ridPrefix: newRIDPrefix(),
+		encode:    nova.EncodeContext,
+		verify:    nova.VerifyContext,
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/encode", s.admitted("/v1/encode", s.handleEncode))
-	mux.HandleFunc("POST /v1/encode/batch", s.admitted("/v1/encode/batch", s.handleBatch))
-	mux.HandleFunc("POST /v1/verify", s.admitted("/v1/verify", s.handleVerify))
+	mux.HandleFunc("POST /v1/encode", s.admittedH("/v1/encode", s.handleEncode))
+	mux.HandleFunc("POST /v1/encode/batch", s.admittedH("/v1/encode/batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/verify", s.admittedH("/v1/verify", s.handleVerify))
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /debug/requests", s.handleRequests)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -198,25 +238,43 @@ func (s *Server) Vars() map[string]int64 {
 	out["cache.bytes"] = cs.Bytes
 	out["cache.entries"] = cs.Entries
 	out["engine.encodes"] = s.encodes.Load()
+	out["flight.leaders"] = s.flights.Leads()
 	out["flight.shared"] = s.flights.Shared()
 	out["http.inflight"] = s.inflight.Load()
+	out["serve.admitted"] = s.admitted.Load()
+	out["serve.completed"] = s.completed.Load()
+	out["serve.failed"] = s.failed.Load()
+	out["serve.canceled"] = s.canceled.Load()
 	if s.draining.Load() {
 		out["server.draining"] = 1
 	}
 	return out
 }
 
-// admitted wraps an endpoint with drain refusal, the admission
-// semaphore, the per-request deadline, the request/latency metrics and
-// the body bound.
-func (s *Server) admitted(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// admittedH wraps an endpoint with drain refusal, the admission
+// semaphore, the per-request deadline, the request-scoped observability
+// (request IDs, RED metrics, flight recorder, access log) and the body
+// bound. The reqObs record lives on this frame's stack and is threaded
+// to the handler by pointer; its per-endpoint metric names were
+// pre-concatenated at registration, so the request path builds no
+// strings beyond the (opt-in) request ID.
+func (s *Server) admittedH(endpoint string, h func(http.ResponseWriter, *http.Request, *reqObs)) http.HandlerFunc {
+	ep := endpointKeysOf(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		m := s.Metrics()
 		m.Add("http.requests", 1)
-		m.Add("http.requests."+endpoint, 1)
+		m.Add(ep.requests, 1)
+		var ro reqObs
+		ro.endpoint = ep.name
+		ro.start = time.Now()
+		if !s.cfg.DisableRequestObs {
+			ro.id = s.requestID(r)
+			w.Header().Set("X-Request-Id", ro.id)
+			ro.trace = traceRequested(r)
+		}
 		if s.draining.Load() {
 			m.Add("http.rejected.draining", 1)
-			s.refuse(w, http.StatusServiceUnavailable, "5", "server draining")
+			s.refuse(w, &ro, http.StatusServiceUnavailable, "5", "server draining")
 			return
 		}
 		if !s.acquire(r.Context()) {
@@ -224,28 +282,32 @@ func (s *Server) admitted(endpoint string, h func(http.ResponseWriter, *http.Req
 				return // client hung up while queued; nothing to say
 			}
 			m.Add("http.rejected.saturated", 1)
-			s.refuse(w, http.StatusTooManyRequests, "1", "server saturated")
+			s.refuse(w, &ro, http.StatusTooManyRequests, "1", "server saturated")
 			return
 		}
+		s.admitted.Add(1)
+		ro.queue = time.Since(ro.start)
 		n := s.inflight.Add(1)
 		m.Max("http.inflight_max", n)
 		start := time.Now()
 		defer func() {
 			s.inflight.Add(-1)
 			<-s.sem
-			m.ObserveDur("http.latency."+endpoint, time.Since(start))
+			ro.total = time.Since(start)
+			m.ObserveDur(ep.latency, ro.total)
+			s.finishObs(ep, &ro)
 		}()
 
 		d, err := requestTimeout(r, s.cfg)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", nova.ErrBadOptions, err))
+			s.writeError(w, &ro, http.StatusBadRequest, fmt.Errorf("%w: %v", nova.ErrBadOptions, err))
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 		r = r.WithContext(ctx)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		h(w, r)
+		h(w, r, &ro)
 	}
 }
 
@@ -292,36 +354,52 @@ func requestTimeout(r *http.Request, cfg Config) (time.Duration, error) {
 }
 
 // handleEncode serves POST /v1/encode.
-func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request, ro *reqObs) {
 	var rq nova.Request
 	if err := json.NewDecoder(r.Body).Decode(&rq); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: body: %v", nova.ErrBadOptions, err))
+		s.writeError(w, ro, http.StatusBadRequest, fmt.Errorf("%w: body: %v", nova.ErrBadOptions, err))
 		return
 	}
-	body, hit, err := s.encodeCached(r.Context(), &rq)
+	body, hit, err := s.encodeCached(r.Context(), &rq, ro)
 	if err != nil {
-		s.writeError(w, statusOf(r.Context(), err), err)
+		s.writeError(w, ro, statusOf(r.Context(), err), err)
 		return
 	}
 	state := "MISS"
 	if hit {
 		state = "HIT"
 	}
-	s.writeBody(w, http.StatusOK, body, state)
+	// The ?trace=1 phase table travels as a header: the body is the
+	// cached artifact and must stay byte-identical across replays.
+	if ro.wantTrace() && len(ro.phases) > 0 {
+		if pb, err := json.Marshal(ro.phases); err == nil {
+			w.Header().Set("X-Nova-Phases", string(pb))
+		}
+	}
+	s.writeBody(w, ro, http.StatusOK, body, state)
 }
 
 // encodeCached is the content-addressed path shared by the single and
 // batch endpoints: cache lookup, then a singleflight-collapsed engine
 // run whose marshaled Response is cached for the next identical request.
-func (s *Server) encodeCached(ctx context.Context, rq *nova.Request) (body []byte, hit bool, err error) {
+// ro (nil for the batch fan-out's per-item calls) receives the request's
+// cache interaction, engine time and — for ?trace=1 leaders — the phase
+// table. A request-scoped trace never reaches the cached body: the
+// tracer is request-local and the snapshot is stripped before marshal,
+// so traced and untraced requests share byte-identical cache entries.
+func (s *Server) encodeCached(ctx context.Context, rq *nova.Request, ro *reqObs) (body []byte, hit bool, err error) {
 	key, err := rq.CacheKey()
 	if err != nil {
 		return nil, false, err
 	}
+	ro.setRequest(key, rq)
 	if b, ok := s.cache.Get(key); ok {
+		ro.setCache("hit")
 		return b, true, nil
 	}
-	b, _, err := s.flights.Do(ctx, key, func() ([]byte, error) {
+	led := false
+	b, joined, err := s.flights.Do(ctx, key, func() ([]byte, error) {
+		led = true
 		f, err := rq.Machine()
 		if err != nil {
 			return nil, err
@@ -329,13 +407,21 @@ func (s *Server) encodeCached(ctx context.Context, rq *nova.Request) (body []byt
 		opt := rq.Options()
 		opt.Parallelism = s.cfg.Parallelism
 		opt.IntraParallelism = s.cfg.Intra
-		if rq.IncludeTelemetry {
+		if rq.IncludeTelemetry || ro.wantTrace() {
 			opt.Tracer = obs.New()
 		}
 		s.encodes.Add(1)
+		t0 := time.Now()
 		res, err := s.encode(ctx, f, opt)
+		ro.setEncode(time.Since(t0))
 		if err != nil {
 			return nil, err
+		}
+		if opt.Tracer != nil {
+			ro.setPhases(nova.WirePhasesOf(res.Telemetry))
+			if !rq.IncludeTelemetry {
+				res.Telemetry = nil // request-scoped trace: keep it out of the cached body
+			}
 		}
 		b, err := json.Marshal(nova.ResponseOf(f, res))
 		if err != nil {
@@ -344,6 +430,12 @@ func (s *Server) encodeCached(ctx context.Context, rq *nova.Request) (body []byt
 		s.cache.Put(key, b)
 		return b, nil
 	})
+	switch {
+	case led:
+		ro.setCache("miss")
+	case joined:
+		ro.setCache("follower")
+	}
 	return b, false, err
 }
 
@@ -363,19 +455,20 @@ type BatchResponse struct {
 // handleBatch serves POST /v1/encode/batch: the items fan out over the
 // server's bounded pool and each one goes through the cached single-
 // encode path, so a batch warms the cache for later point requests and
-// vice versa.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+// vice versa. Per-item observation is nil — reqObs is single-goroutine
+// by design; the batch is observed as one request.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, ro *reqObs) {
 	var bq BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&bq); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: body: %v", nova.ErrBadOptions, err))
+		s.writeError(w, ro, http.StatusBadRequest, fmt.Errorf("%w: body: %v", nova.ErrBadOptions, err))
 		return
 	}
 	if len(bq.Requests) == 0 {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: empty batch", nova.ErrBadOptions))
+		s.writeError(w, ro, http.StatusBadRequest, fmt.Errorf("%w: empty batch", nova.ErrBadOptions))
 		return
 	}
 	if len(bq.Requests) > s.cfg.MaxBatch {
-		s.writeError(w, http.StatusBadRequest,
+		s.writeError(w, ro, http.StatusBadRequest,
 			fmt.Errorf("%w: batch of %d exceeds the %d-machine bound", nova.ErrBadOptions, len(bq.Requests), s.cfg.MaxBatch))
 		return
 	}
@@ -384,7 +477,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range bq.Requests {
 		g.Go(func(ctx context.Context) error {
 			rq := &bq.Requests[i]
-			body, _, err := s.encodeCached(ctx, rq)
+			body, _, err := s.encodeCached(ctx, rq, nil)
 			if err != nil {
 				if errors.Is(err, nova.ErrCanceled) && ctx.Err() != nil {
 					return err // whole batch canceled: stop the siblings
@@ -401,39 +494,39 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if err := g.Wait(); err != nil {
-		s.writeError(w, statusOf(r.Context(), err), err)
+		s.writeError(w, ro, statusOf(r.Context(), err), err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, ro, http.StatusOK, out)
 }
 
 // handleVerify serves POST /v1/verify. A verification mismatch is a
 // successful request whose answer is "no": 200 with ok=false.
-func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, ro *reqObs) {
 	var vq nova.VerifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&vq); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("%w: body: %v", nova.ErrBadOptions, err))
+		s.writeError(w, ro, http.StatusBadRequest, fmt.Errorf("%w: body: %v", nova.ErrBadOptions, err))
 		return
 	}
 	f, err := vq.Machine()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, ro, http.StatusBadRequest, err)
 		return
 	}
 	asg, err := vq.Assignment()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, ro, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.verify(r.Context(), f, asg); err != nil {
 		if errors.Is(err, nova.ErrCanceled) {
-			s.writeError(w, statusOf(r.Context(), err), err)
+			s.writeError(w, ro, statusOf(r.Context(), err), err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, nova.VerifyResponse{OK: false, Error: err.Error(), ErrorKind: nova.ErrorKindOf(err)})
+		s.writeJSON(w, ro, http.StatusOK, nova.VerifyResponse{OK: false, Error: err.Error(), ErrorKind: nova.ErrorKindOf(err)})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, nova.VerifyResponse{OK: true})
+	s.writeJSON(w, ro, http.StatusOK, nova.VerifyResponse{OK: true})
 }
 
 // handleHealthz serves GET /v1/healthz.
@@ -454,6 +547,23 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(map[string]any{"nova": s.Vars()}) //nolint:errcheck // best-effort diagnostics
+}
+
+// handleMetrics serves GET /metrics: the same counters and histograms as
+// /debug/vars in Prometheus text exposition (see prom.go).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeProm(w)
+}
+
+// handleRequests serves GET /debug/requests: the flight recorder's
+// slowest requests and most recent failures, optionally filtered to one
+// request ID (?id=...).
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.recorder.snapshot(r.URL.Query().Get("id"))) //nolint:errcheck // best-effort diagnostics
 }
 
 // statusOf maps an engine error onto its HTTP status. Deadline expiry of
@@ -479,36 +589,50 @@ func statusOf(ctx context.Context, err error) int {
 // hung up first"; the client never sees it, the access metrics do.
 const statusClientClosedRequest = 499
 
-func (s *Server) refuse(w http.ResponseWriter, status int, retryAfter, msg string) {
+func (s *Server) refuse(w http.ResponseWriter, ro *reqObs, status int, retryAfter, msg string) {
 	w.Header().Set("Retry-After", retryAfter)
-	s.writeError(w, status, errors.New(msg))
+	s.writeError(w, ro, status, errors.New(msg))
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, ro *reqObs, status int, err error) {
 	s.Metrics().Add("http.status."+strconv.Itoa(status), 1)
+	kind := nova.ErrorKindOf(err)
+	if kind == "" {
+		kind = nova.ErrKindInternal
+	}
+	ro.setOutcome(status, kind)
 	if s.cfg.Logger != nil {
-		s.cfg.Logger.Warn("request failed", "status", status, "err", err)
+		s.cfg.Logger.Warn("request failed", "status", status, "err", err, "id", requestIDOf(ro))
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	b, merr := json.Marshal(&nova.Response{Error: err.Error(), ErrorKind: nova.ErrorKindOf(err)})
+	b, merr := json.Marshal(&nova.Response{Error: err.Error(), ErrorKind: kind})
 	if merr != nil {
 		return
 	}
 	w.Write(append(b, '\n')) //nolint:errcheck // client may be gone
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	b, err := json.Marshal(v)
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
-		return
+// requestIDOf is ro.id, nil-safe for log sites.
+func requestIDOf(ro *reqObs) string {
+	if ro == nil {
+		return ""
 	}
-	s.writeBody(w, status, b, "")
+	return ro.id
 }
 
-func (s *Server) writeBody(w http.ResponseWriter, status int, b []byte, cacheState string) {
+func (s *Server) writeJSON(w http.ResponseWriter, ro *reqObs, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, ro, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeBody(w, ro, status, b, "")
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, ro *reqObs, status int, b []byte, cacheState string) {
 	s.Metrics().Add("http.status."+strconv.Itoa(status), 1)
+	ro.setOutcome(status, "")
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if cacheState != "" {
 		w.Header().Set("X-Cache", cacheState)

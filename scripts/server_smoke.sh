@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the novad serving layer:
 #
-#   1. build and start novad on a free port
+#   1. build and start novad on a free port (access log + flight recorder on)
 #   2. POST the same encode request twice
 #   3. assert the two response bodies are byte-identical
 #   4. assert /debug/vars reports a cache hit and exactly one engine run
-#   5. SIGTERM the daemon and assert it drains and exits cleanly
+#   5. assert request IDs echo and ?trace=1 returns a phase table header
+#   6. assert /metrics is well-formed Prometheus exposition (every # TYPE
+#      precedes its series) covering the RED families
+#   7. assert /debug/requests holds the traced slow request (with phases)
+#      and a deliberate failure
+#   8. SIGTERM the daemon and assert it drains, exits cleanly, and the
+#      final snapshot satisfies admitted == completed + failed + canceled
 #
 # Requires: go, curl, python3 (JSON field extraction). No external Go deps.
 set -euo pipefail
@@ -20,7 +26,7 @@ echo "==> building novad"
 go build -o "$WORKDIR/novad" ./cmd/novad
 
 echo "==> starting novad on $ADDR"
-"$WORKDIR/novad" -addr "$ADDR" -grace 10s >"$WORKDIR/novad.log" 2>&1 &
+"$WORKDIR/novad" -addr "$ADDR" -grace 10s -access-log -recorder 16 >"$WORKDIR/novad.log" 2>&1 &
 NOVAD_PID=$!
 
 for i in $(seq 1 50); do
@@ -68,6 +74,104 @@ assert v.get("http.requests", 0) >= 2, f"request counter wrong: {v}"
 print(f"    cache.hits={v['cache.hits']} engine.encodes={v['engine.encodes']}")
 EOF
 
+echo "==> checking request IDs and the trace opt-in"
+# A caller-supplied X-Request-ID echoes back, and ?trace=1 on a cache hit
+# must not change the cached bytes.
+curl -fsS -X POST -H 'Content-Type: application/json' -H 'X-Request-ID: smoke-hit-1' \
+    --data-binary @"$WORKDIR/request.json" \
+    "http://$ADDR/v1/encode?trace=1" -o "$WORKDIR/resp3.json" -D "$WORKDIR/head3.txt"
+grep -qi '^x-request-id: smoke-hit-1' "$WORKDIR/head3.txt"
+cmp "$WORKDIR/resp1.json" "$WORKDIR/resp3.json"
+
+# A traced cache miss (fresh machine name, deliberately slow: the whole
+# engine runs) returns its phase table in the X-Nova-Phases header.
+python3 - "$WORKDIR/request-traced.json" <<'EOF'
+import json, sys
+kiss2 = open("testdata/quick4.kiss2").read()
+req = {"kiss2": kiss2, "name": "quick4-traced", "algorithm": "ihybrid"}
+with open(sys.argv[1], "w") as f:
+    json.dump(req, f)
+EOF
+curl -fsS -X POST -H 'Content-Type: application/json' -H 'X-Request-ID: smoke-traced' \
+    --data-binary @"$WORKDIR/request-traced.json" \
+    "http://$ADDR/v1/encode?trace=1" -o "$WORKDIR/resp4.json" -D "$WORKDIR/head4.txt"
+grep -qi '^x-request-id: smoke-traced' "$WORKDIR/head4.txt"
+grep -qi '^x-nova-phases:' "$WORKDIR/head4.txt"
+grep -qi '^x-cache: MISS' "$WORKDIR/head4.txt"
+# The traced body carries no telemetry (the trace travels by header only).
+python3 -c 'import json,sys; r=json.load(open(sys.argv[1])); assert "telemetry" not in r, r.keys()' "$WORKDIR/resp4.json"
+
+echo "==> checking /metrics exposition"
+# A deliberate failure first, so the error families have data.
+curl -sS -X POST --data-binary 'not json' "http://$ADDR/v1/encode" \
+    -o /dev/null -D "$WORKDIR/headfail.txt"
+grep -q '^HTTP/1.1 400' "$WORKDIR/headfail.txt"
+curl -fsS "http://$ADDR/metrics" -o "$WORKDIR/metrics.txt" -D "$WORKDIR/methead.txt"
+grep -qi '^content-type: text/plain; version=0.0.4' "$WORKDIR/methead.txt"
+python3 - "$WORKDIR/metrics.txt" <<'EOF'
+import sys
+typed, samples = {}, {}
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# HELP "):
+        continue
+    if line.startswith("# TYPE "):
+        name, typ = line[len("# TYPE "):].split(" ", 1)
+        assert name not in typed, f"family {name} declared twice"
+        typed[name] = typ
+        continue
+    assert not line.startswith("#"), f"unexpected comment {line!r}"
+    series, val = line.rsplit(" ", 1)
+    name = series.split("{", 1)[0]
+    family = name
+    for suf in ("_bucket", "_sum", "_count"):
+        if name.endswith(suf) and typed.get(name[: -len(suf)]) == "histogram":
+            family = name[: -len(suf)]
+    # every # TYPE precedes its series
+    assert family in typed, f"series {series} emitted before its # TYPE"
+    samples[series] = int(val)
+for family in [
+    "nova_http_requests_total",
+    "nova_http_endpoint_requests_total",
+    "nova_http_responses_total",
+    "nova_http_request_errors_total",
+    "nova_http_request_duration_microseconds",
+    "nova_cache_hits_total",
+    "nova_singleflight_requests_total",
+    "nova_http_admitted_outcomes_total",
+]:
+    assert family in typed, f"family {family} missing from /metrics"
+assert samples.get("nova_cache_hits_total", 0) >= 1, "no cache hit on /metrics"
+assert samples.get('nova_http_responses_total{code="400"}', 0) >= 1, "400 not counted"
+q = 'nova_http_request_duration_microseconds_count{endpoint="/v1/encode",stage="queue"}'
+assert samples.get(q, 0) >= 2, f"queue-wait histogram missing: {q}"
+print(f"    {len(typed)} families, {len(samples)} series: well-formed")
+EOF
+
+echo "==> checking the /debug/requests flight recorder"
+curl -fsS "http://$ADDR/debug/requests" -o "$WORKDIR/requests.json"
+python3 - "$WORKDIR/requests.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+slow = snap["slowest"]
+assert slow, "flight recorder has no slowest entries after a slow request"
+traced = [r for r in slow if r.get("id") == "smoke-traced"]
+assert traced, f"traced request missing from slowest: {[r.get('id') for r in slow]}"
+rec = traced[0]
+assert rec.get("phases"), f"traced record lost its phase table: {rec}"
+assert rec.get("total_us", 0) > 0 and rec.get("cache") == "miss", rec
+fails = snap["recent_failures"]
+assert fails, "deliberate failure missing from recent_failures"
+assert fails[0].get("error_kind") == "bad_request", fails[0]
+print(f"    slowest={len(slow)} failures={len(fails)} traced phases={len(rec['phases'])}")
+EOF
+grep -q 'msg=request' "$WORKDIR/novad.log" || {
+    echo "access log produced no request lines" >&2
+    exit 1
+}
+
 echo "==> checking the served response verifies"
 python3 - "$WORKDIR/resp1.json" "$WORKDIR/verify.json" <<'EOF'
 import json, sys
@@ -106,5 +210,25 @@ grep -q 'final telemetry snapshot' "$WORKDIR/novad.log" || {
     cat "$WORKDIR/novad.log" >&2
     exit 1
 }
+
+echo "==> checking the drained snapshot's accounting identity"
+python3 - "$WORKDIR/novad.log" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+snap = text.split("final telemetry snapshot:", 1)[1]
+vals = {}
+for line in snap.splitlines():
+    m = re.match(r"\s+(\S+)\s+(-?\d+)$", line)
+    if m:
+        vals[m.group(1)] = int(m.group(2))
+adm = vals.get("serve.admitted", 0)
+com = vals.get("serve.completed", 0)
+fld = vals.get("serve.failed", 0)
+can = vals.get("serve.canceled", 0)
+assert adm > 0, f"nothing admitted: {vals}"
+assert adm == com + fld + can, \
+    f"admitted {adm} != completed {com} + failed {fld} + canceled {can}"
+print(f"    admitted={adm} completed={com} failed={fld} canceled={can}")
+EOF
 
 echo "server smoke: OK"

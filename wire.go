@@ -130,8 +130,9 @@ func (rq *Request) Validate() (*FSM, error) {
 
 // cacheKeyVersion stamps every cache key; bump it whenever the Response
 // schema or the encoding pipeline changes observably, so stale caches
-// can never serve bytes produced by an older layout.
-const cacheKeyVersion = "nova-wire-v1"
+// can never serve bytes produced by an older layout. v2: WireTelemetry
+// grew the per-phase table (telemetry-carrying bodies changed shape).
+const cacheKeyVersion = "nova-wire-v2"
 
 // CacheKey returns the content address of the request: a SHA-256 hex
 // digest of the canonical machine text (re-emitted from the parsed FSM,
@@ -259,6 +260,38 @@ type WireTelemetry struct {
 	WallMicros int64            `json:"wall_us"`
 	Spans      int              `json:"spans"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
+	// Phases is the per-phase span table (self times subtract direct
+	// children, so sibling phases partition their parent).
+	Phases []WirePhase `json:"phases,omitempty"`
+}
+
+// WirePhase is one phase aggregate on the wire: how often the phase ran
+// and where its time went. The same rendering is used by
+// Response.Telemetry, the novad flight recorder (/debug/requests) and
+// the per-request trace opt-in.
+type WirePhase struct {
+	Name        string `json:"name"`
+	Count       int    `json:"count"`
+	TotalMicros int64  `json:"total_us"`
+	SelfMicros  int64  `json:"self_us"`
+}
+
+// WirePhasesOf renders a telemetry snapshot's phase table for the wire
+// (nil snapshot or empty table → nil).
+func WirePhasesOf(snap *TelemetrySnapshot) []WirePhase {
+	if snap == nil || len(snap.Phases) == 0 {
+		return nil
+	}
+	out := make([]WirePhase, len(snap.Phases))
+	for i, p := range snap.Phases {
+		out[i] = WirePhase{
+			Name:        p.Name,
+			Count:       p.Count,
+			TotalMicros: p.Total.Microseconds(),
+			SelfMicros:  p.Self.Microseconds(),
+		}
+	}
+	return out
 }
 
 // Response is one encode result (or failure) on the wire.
@@ -302,12 +335,12 @@ type Response struct {
 // the state and symbolic value names.
 func ResponseOf(f *FSM, res *Result) *Response {
 	rp := &Response{
-		Algorithm:     res.Algorithm,
-		Bits:          res.Bits,
-		Cubes:         res.Cubes,
-		Area:          res.Area,
-		WSat:          res.WSat,
-		WUnsat:        res.WUnsat,
+		Algorithm:       res.Algorithm,
+		Bits:            res.Bits,
+		Cubes:           res.Cubes,
+		Area:            res.Area,
+		WSat:            res.WSat,
+		WUnsat:          res.WUnsat,
 		SatisfiedOC:     res.SatisfiedOC,
 		TotalOC:         res.TotalOC,
 		RandomAvgArea:   res.RandomAvgArea,
@@ -335,6 +368,7 @@ func ResponseOf(f *FSM, res *Result) *Response {
 			WallMicros: res.Telemetry.Wall.Microseconds(),
 			Spans:      res.Telemetry.Spans,
 			Counters:   res.Telemetry.Counters,
+			Phases:     WirePhasesOf(res.Telemetry),
 		}
 	}
 	return rp

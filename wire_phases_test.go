@@ -1,0 +1,76 @@
+package nova
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"nova/internal/obs"
+)
+
+// TestWirePhasesOf pins the snapshot → wire rendering shared by
+// Response.Telemetry, the novad flight recorder and the ?trace=1
+// opt-in.
+func TestWirePhasesOf(t *testing.T) {
+	if WirePhasesOf(nil) != nil {
+		t.Fatal("nil snapshot should render nil")
+	}
+	if WirePhasesOf(&TelemetrySnapshot{}) != nil {
+		t.Fatal("empty phase table should render nil")
+	}
+	snap := &TelemetrySnapshot{Phases: []obs.PhaseStat{
+		{Name: "espresso.minimize", Count: 3, Total: 1500 * time.Microsecond, Self: 900 * time.Microsecond},
+		{Name: "mvmin.build", Count: 1, Total: 200 * time.Microsecond, Self: 200 * time.Microsecond},
+	}}
+	got := WirePhasesOf(snap)
+	if len(got) != 2 {
+		t.Fatalf("rendered %d phases", len(got))
+	}
+	want0 := WirePhase{Name: "espresso.minimize", Count: 3, TotalMicros: 1500, SelfMicros: 900}
+	if got[0] != want0 {
+		t.Fatalf("phase[0] = %+v, want %+v", got[0], want0)
+	}
+
+	// The JSON field names are wire contract.
+	b, err := json.Marshal(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"name":"espresso.minimize","count":3,"total_us":1500,"self_us":900}`
+	if string(b) != want {
+		t.Fatalf("wire shape %s, want %s", b, want)
+	}
+}
+
+// TestResponseTelemetryCarriesPhases: a traced encode's wire Response
+// round-trips its phase table.
+func TestResponseTelemetryCarriesPhases(t *testing.T) {
+	rq := Request{KISS2: "\n.i 1\n.o 1\n.s 2\n.r a\n0 a b 0\n1 a a 1\n0 b a 1\n1 b b 0\n.e\n",
+		Name: "tiny", Algorithm: IGreedy, IncludeTelemetry: true}
+	f, err := rq.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := rq.Options()
+	opt.Tracer = NewTracer()
+	res, err := Encode(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(ResponseOf(f, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rp Response
+	if err := json.Unmarshal(b, &rp); err != nil {
+		t.Fatal(err)
+	}
+	if rp.Telemetry == nil || len(rp.Telemetry.Phases) == 0 {
+		t.Fatalf("telemetry lost its phases: %+v", rp.Telemetry)
+	}
+	for _, p := range rp.Telemetry.Phases {
+		if p.Name == "" || p.Count <= 0 || p.TotalMicros < p.SelfMicros {
+			t.Fatalf("malformed wire phase %+v", p)
+		}
+	}
+}
