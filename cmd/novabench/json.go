@@ -18,6 +18,9 @@ import (
 )
 
 // tableBench is one serial-vs-intra measurement of a table regeneration.
+// With -count > 1 the ns_per_op fields hold the mean over the
+// repetitions (so -compare keeps firing on means without schema
+// changes) and the _min fields record the best single repetition.
 type tableBench struct {
 	Table        string  `json:"table"`
 	SerialNsOp   int64   `json:"serial_ns_per_op"`
@@ -26,6 +29,9 @@ type tableBench struct {
 	IntraAllocs  uint64  `json:"intra_allocs_per_op"`
 	Speedup      float64 `json:"speedup_vs_serial"`
 	AllocRatio   float64 `json:"intra_alloc_ratio"`
+	Count        int     `json:"count,omitempty"`
+	SerialNsMin  int64   `json:"serial_ns_per_op_min,omitempty"`
+	IntraNsMin   int64   `json:"intra_ns_per_op_min,omitempty"`
 }
 
 type benchSnapshot struct {
@@ -110,11 +116,15 @@ func wireResults(opts experiments.RunOpts, r *experiments.Runner) []nova.Respons
 
 // writeBenchJSON writes BENCH_<date>.json with the requested sections:
 // withTables measures tables II, IV and VI serially and with
-// intra-problem parallelism; withPortfolio adds the portfolio
-// quality-vs-wallclock rows over the same machines.
-func writeBenchJSON(opts experiments.RunOpts, intraWorkers int, withTables, withPortfolio bool) (string, error) {
+// intra-problem parallelism (count repetitions each, reporting mean and
+// min); withPortfolio adds the portfolio quality-vs-wallclock rows over
+// the same machines.
+func writeBenchJSON(opts experiments.RunOpts, intraWorkers, count int, withTables, withPortfolio bool) (string, error) {
 	if intraWorkers < 2 {
 		intraWorkers = 8
+	}
+	if count < 1 {
+		count = 1
 	}
 	snap := benchSnapshot{
 		Date:         time.Now().Format("2006-01-02"),
@@ -125,6 +135,10 @@ func writeBenchJSON(opts experiments.RunOpts, intraWorkers int, withTables, with
 		Note: "speedup_vs_serial is wall-clock and needs spare CPUs to exceed 1.0; " +
 			"on a host without them the intra run matches serial within noise while " +
 			"staying byte-identical. allocs are process-wide Mallocs deltas per regeneration. " +
+			"with -count > 1 the ns_per_op fields are means over the repetitions and " +
+			"*_min the best single one; the process-global memos (tautology, failed " +
+			"embeddings) stay warm across repetitions and tables, so later runs measure " +
+			"the cached regime — exactly what a long-lived server sees. " +
 			"portfolio rows compare the hedged race against each roster algorithm run " +
 			"alone: area_vs_best_single <= 1.0 is the quality bar, wallclock_vs_fastest " +
 			"needs spare CPUs to approach 1.0.",
@@ -137,7 +151,7 @@ func writeBenchJSON(opts experiments.RunOpts, intraWorkers int, withTables, with
 		snap.Portfolio = rows
 	}
 	if withTables {
-		if err := measureTables(opts, intraWorkers, &snap); err != nil {
+		if err := measureTables(opts, intraWorkers, count, &snap); err != nil {
 			return "", err
 		}
 	}
@@ -153,9 +167,30 @@ func writeBenchJSON(opts experiments.RunOpts, intraWorkers int, withTables, with
 	return name, nil
 }
 
+// repeatMeasure runs the measurement count times and reports the mean
+// and minimum wall time plus the mean allocation count. Each repetition
+// regenerates on a fresh runner (fresh result cache), but the
+// process-global memos stay warm — repetitions after the first measure
+// the steady state.
+func repeatMeasure(fn func() error, count int) (mean, min int64, allocs uint64, err error) {
+	var sumNs, sumAllocs uint64
+	for i := 0; i < count; i++ {
+		ns, al, err := measure(fn)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sumNs += uint64(ns)
+		sumAllocs += al
+		if i == 0 || ns < min {
+			min = ns
+		}
+	}
+	return int64(sumNs / uint64(count)), min, sumAllocs / uint64(count), nil
+}
+
 // measureTables fills the serial-vs-intra table measurements of the
-// snapshot.
-func measureTables(opts experiments.RunOpts, intraWorkers int, snap *benchSnapshot) error {
+// snapshot, count repetitions per cell.
+func measureTables(opts experiments.RunOpts, intraWorkers, count int, snap *benchSnapshot) error {
 	serialOpts := opts
 	serialOpts.Intra = 0
 	intraOpts := opts
@@ -163,12 +198,14 @@ func measureTables(opts experiments.RunOpts, intraWorkers int, snap *benchSnapsh
 	seen := make(map[string]bool)
 	for _, table := range []int{2, 4, 6} {
 		var runner *experiments.Runner
-		sNs, sAllocs, err := measure(regenerate(serialOpts, table, &runner))
+		sNs, sMin, sAllocs, err := repeatMeasure(regenerate(serialOpts, table, &runner), count)
 		if err != nil {
 			return fmt.Errorf("table %d serial: %w", table, err)
 		}
 		// Tables share machines; keep the first Response per
 		// machine/algorithm pair so the snapshot has no duplicates.
+		// (runner is the last repetition's — encodes are deterministic,
+		// so every repetition memoized the same results.)
 		for _, resp := range wireResults(serialOpts, runner) {
 			key := resp.Machine + "/" + string(resp.Algorithm)
 			if seen[key] {
@@ -177,7 +214,7 @@ func measureTables(opts experiments.RunOpts, intraWorkers int, snap *benchSnapsh
 			seen[key] = true
 			snap.Results = append(snap.Results, resp)
 		}
-		iNs, iAllocs, err := measure(regenerate(intraOpts, table, nil))
+		iNs, iMin, iAllocs, err := repeatMeasure(regenerate(intraOpts, table, nil), count)
 		if err != nil {
 			return fmt.Errorf("table %d intra: %w", table, err)
 		}
@@ -187,6 +224,11 @@ func measureTables(opts experiments.RunOpts, intraWorkers int, snap *benchSnapsh
 			SerialAllocs: sAllocs,
 			IntraNsOp:    iNs,
 			IntraAllocs:  iAllocs,
+		}
+		if count > 1 {
+			tb.Count = count
+			tb.SerialNsMin = sMin
+			tb.IntraNsMin = iMin
 		}
 		if iNs > 0 {
 			tb.Speedup = float64(sNs) / float64(iNs)

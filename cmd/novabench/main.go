@@ -4,7 +4,7 @@
 // Usage:
 //
 //	novabench [-table N] [-only name,name] [-skip-huge] [-fast] [-seed S]
-//	          [-json] [-portfolio] [-phase-table] [-trace out.json]
+//	          [-json] [-portfolio] [-count N] [-phase-table] [-trace out.json]
 //	          [-cpuprofile f] [-memprofile f]
 //	novabench -compare OLD.json,NEW.json [-area-tol 0] [-time-tol 25]
 //
@@ -54,6 +54,7 @@ func realMain() int {
 	intra := flag.Int("intra", 0, "intra-problem parallelism per encode (0/1 = serial inside each problem)")
 	jsonSnap := flag.Bool("json", false, "measure tables II/IV/VI serial vs intra-parallel and write BENCH_<date>.json")
 	pfSnap := flag.Bool("portfolio", false, "measure the portfolio race vs single algorithms and write BENCH_<date>.json (combines with -json)")
+	count := flag.Int("count", 1, "repetitions per -json table measurement; the snapshot reports the mean (what -compare reads) and the min")
 	exactBudget := flag.Int("exact-budget", 1_500_000, "iexact work budget per machine (0 = library default)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	phaseTable := flag.Bool("phase-table", false, "print a per-machine phase time breakdown after the tables")
@@ -122,7 +123,7 @@ func realMain() int {
 		opts.Only = strings.Split(*only, ",")
 	}
 	if *jsonSnap || *pfSnap {
-		name, err := writeBenchJSON(opts, *intra, *jsonSnap, *pfSnap)
+		name, err := writeBenchJSON(opts, *intra, *count, *jsonSnap, *pfSnap)
 		if err != nil {
 			return fail(err)
 		}

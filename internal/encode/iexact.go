@@ -31,6 +31,11 @@ type ExactOptions struct {
 	// dimension out across pool workers with a shared best-index bound;
 	// results stay byte-identical to the serial search (see Fanout).
 	Fanout Fanout
+	// NoPrune disables the search-tree pruning added on top of the
+	// seed searcher: second-placement symmetry breaking and the
+	// failed-embedding memo. For A/B comparison and the equivalence
+	// suite.
+	NoPrune bool
 }
 
 // IExact implements iexact_code (Section III): find an encoding of n
@@ -57,7 +62,10 @@ func IExact(n int, ics []constraint.Constraint, opt ExactOptions) (res Result) {
 		}
 		sp.End()
 	}()
-	ics = constraint.Normalize(ics)
+	// Preprocess without a code length: iexact explores many dimensions,
+	// and its lo>hi level-window check already skips the dimensions a
+	// constraint cannot fit, so no infeasible filter applies here.
+	ics, _ = prepConstraints(opt.Ctx, 0, ics, true)
 	if opt.MaxWork <= 0 {
 		opt.MaxWork = 5_000_000
 	}

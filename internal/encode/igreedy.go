@@ -15,7 +15,10 @@ import (
 // some encoding space may remain unused. bits <= 0 selects the minimum
 // code length.
 func IGreedy(n int, ics []constraint.Constraint, bits int) Result {
-	ics = constraint.Normalize(ics)
+	// Preprocessing without a code length: merge/drop only. The
+	// infeasible filter would be unsound here — tryNode may legitimately
+	// claim the full cube for a constraint covering every placed state.
+	ics = constraint.Preprocess(0, ics).ICs
 	if bits <= 0 {
 		bits = MinLength(n)
 	}

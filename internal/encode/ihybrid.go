@@ -26,6 +26,11 @@ type HybridOptions struct {
 	// greedy acceptance chain on spare pool workers; results stay
 	// byte-identical to the serial chain (see Fanout).
 	Fanout Fanout
+	// NoPrune disables the search-tree pruning added on top of the
+	// seed searcher: second-placement symmetry breaking, the
+	// failed-embedding memo, and the infeasible-constraint skip. For
+	// A/B comparison and the equivalence suite.
+	NoPrune bool
 }
 
 func (o *HybridOptions) defaults() {
@@ -39,10 +44,74 @@ func (o *HybridOptions) defaults() {
 // constraints and bounded by max_work (and by ctx, which may be nil). It
 // returns the found encoding and whether all the given constraints were
 // satisfied.
-func semiexact(ctx context.Context, n int, sic []constraint.Constraint, cubeDim, maxWork int, oc []OCEdge) (encoding.Encoding, bool, int) {
-	out := semiexactRun(ctx, n, sic, cubeDim, maxWork, oc, "search.semiexact")
+func semiexact(ctx context.Context, n int, sic []constraint.Constraint, cubeDim, maxWork int, oc []OCEdge, noPrune bool) (encoding.Encoding, bool, int) {
+	out := semiexactRun(ctx, n, sic, cubeDim, maxWork, oc, noPrune, "search.semiexact")
 	out.s.flushMetrics(obs.MetricsFrom(ctx))
 	return out.enc, out.ok, out.work
+}
+
+// prepConstraints runs constraint preprocessing under its own span (so
+// phase tables attribute its cost honestly), publishes the
+// merge/infeasibility counters, and returns the normalized list plus
+// the searchable subset: with pruning on, constraints no proper face of
+// the cubeDim-cube can host are removed from the search schedule — each
+// would fail after exactly one face probe (see constraint.Preprocess) —
+// while remaining in the full list for satisfaction accounting. With
+// noPrune (or cubeDim <= 0) the searchable list is the full list.
+func prepConstraints(ctx context.Context, cubeDim int, ics []constraint.Constraint, noPrune bool) (all, searchable []constraint.Constraint) {
+	_, sp := obs.Span(ctx, "encode.preprocess")
+	p := constraint.Preprocess(cubeDim, ics)
+	m := obs.MetricsFrom(ctx)
+	if p.Merged > 0 {
+		m.Add("search.constraints.merged", int64(p.Merged))
+	}
+	if len(p.Infeasible) > 0 {
+		m.Add("search.constraints.infeasible", int64(len(p.Infeasible)))
+	}
+	if sp != nil {
+		sp.SetInt("constraints", int64(len(p.ICs)))
+		sp.SetInt("merged", int64(p.Merged))
+		sp.SetInt("infeasible", int64(len(p.Infeasible)))
+		sp.End()
+	}
+	all = p.ICs
+	if noPrune || len(p.Infeasible) == 0 {
+		return all, all
+	}
+	searchable = make([]constraint.Constraint, 0, len(all)-len(p.Infeasible))
+	for _, c := range all {
+		if !p.Infeasible[c.Set.Key()] {
+			searchable = append(searchable, c)
+		}
+	}
+	return all, searchable
+}
+
+// mergeRejects rebuilds the rejected-constraint list in the order of
+// the full normalized list: the chain's rejects plus the infeasible
+// constraints that never entered the chain. The unpruned chain would
+// have rejected each skipped constraint at its weight-sorted position
+// (its single candidate face, the full cube, is reserved by the
+// universe), so the merged list matches the unpruned ric exactly.
+func mergeRejects(all, searchable, ric []constraint.Constraint) []constraint.Constraint {
+	if len(all) == len(searchable) {
+		return ric
+	}
+	rejected := make(map[string]bool, len(ric))
+	for _, c := range ric {
+		rejected[c.Set.Key()] = true
+	}
+	inSearch := make(map[string]bool, len(searchable))
+	for _, c := range searchable {
+		inSearch[c.Set.Key()] = true
+	}
+	out := make([]constraint.Constraint, 0, len(ric)+len(all)-len(searchable))
+	for _, c := range all {
+		if !inSearch[c.Set.Key()] || rejected[c.Set.Key()] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // ctxErr returns the context's error, tolerating a nil context.
@@ -61,21 +130,21 @@ func ctxErr(ctx context.Context) error {
 // phase); bits larger than the minimum enables projection.
 func IHybrid(n int, ics []constraint.Constraint, bits int, opt HybridOptions) Result {
 	opt.defaults()
-	ics = constraint.Normalize(ics)
 	cubeDim := MinLength(n)
+	ics, searchable := prepConstraints(opt.Ctx, cubeDim, ics, opt.NoPrune)
 	if bits <= 0 {
 		bits = cubeDim
 	}
 	var res Result
 
 	// ics is sorted by decreasing weight; the chain accepts greedily.
-	chain := semiexactChain(opt, n, ics, cubeDim)
+	chain := semiexactChain(opt, n, searchable, cubeDim)
 	res.Work += chain.work
 	if chain.err != nil {
 		res.Err = chain.err
 		return res
 	}
-	sic, ric := chain.sic, chain.ric
+	sic, ric := chain.sic, mergeRejects(ics, searchable, chain.ric)
 	enc, have := chain.enc, chain.have
 	if err := ctxErr(opt.Ctx); err != nil {
 		res.Err = err

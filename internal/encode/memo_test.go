@@ -1,0 +1,199 @@
+package encode
+
+import (
+	"fmt"
+	"testing"
+
+	"nova/internal/constraint"
+)
+
+func paperConstraints() []constraint.Constraint {
+	var ics []constraint.Constraint
+	for _, v := range []string{"1110000", "0111000", "0000111", "1000110", "0000011", "0011000"} {
+		ics = append(ics, constraint.Constraint{Set: constraint.MustFromString(v), Weight: 1})
+	}
+	return ics
+}
+
+// TestVerdictUsable pins the budget-transfer rules: an exhaustive
+// verdict answers any probe whose budget would not have fired first,
+// while a budget-truncated verdict only answers a probe with the exact
+// same cap (a larger budget might have gone on to succeed).
+func TestVerdictUsable(t *testing.T) {
+	cases := []struct {
+		name    string
+		v       searchVerdict
+		maxWork int
+		want    bool
+	}{
+		{"exhaustive unbounded probe", searchVerdict{work: 50}, 0, true},
+		{"exhaustive within budget", searchVerdict{work: 50}, 50, true},
+		{"exhaustive over budget", searchVerdict{work: 50}, 49, false},
+		{"budget same cap", searchVerdict{budget: true, cap: 100, work: 100}, 100, true},
+		{"budget larger cap", searchVerdict{budget: true, cap: 100, work: 100}, 200, false},
+		{"budget smaller cap", searchVerdict{budget: true, cap: 100, work: 100}, 50, false},
+		{"budget unbounded probe", searchVerdict{budget: true, cap: 100, work: 100}, 0, false},
+	}
+	for _, c := range cases {
+		if got := c.v.usable(c.maxWork); got != c.want {
+			t.Errorf("%s: usable(%d) = %v, want %v", c.name, c.maxWork, got, c.want)
+		}
+	}
+}
+
+// TestSearchMemoLRU exercises the sharded LRU: the cap is enforced
+// across inserts (with slot reuse through the free list), a re-put of a
+// live key refreshes rather than duplicates, and SetSearchMemoCap(0)
+// restores the default.
+func TestSearchMemoLRU(t *testing.T) {
+	searchMemoReset()
+	SetSearchMemoCap(searchMemoShards) // one entry per shard
+	defer func() {
+		SetSearchMemoCap(0)
+		searchMemoReset()
+	}()
+
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		searchMemo.put(key, searchVerdict{work: i})
+		// The entry just inserted is at its shard's front and must be
+		// present.
+		if v, ok := searchMemo.get(key); !ok || v.work != i {
+			t.Fatalf("just-inserted key %q missing (ok=%v work=%d)", key, ok, v.work)
+		}
+	}
+	if n := searchMemo.len(); n > searchMemoShards {
+		t.Fatalf("memo holds %d entries, cap is %d", n, searchMemoShards)
+	}
+
+	// Re-putting a live key must not duplicate it or alter the count.
+	before := searchMemo.len()
+	searchMemo.put("k199", searchVerdict{work: 1})
+	if n := searchMemo.len(); n != before {
+		t.Fatalf("re-put changed entry count %d -> %d", before, n)
+	}
+	// The original verdict wins: put of an existing key refreshes
+	// recency only.
+	if v, ok := searchMemo.get("k199"); ok && v.work != 199 {
+		t.Fatalf("re-put overwrote verdict: work=%d, want 199", v.work)
+	}
+
+	SetSearchMemoCap(0)
+	for i := 0; i < 100; i++ {
+		searchMemo.put(fmt.Sprintf("d%d", i), searchVerdict{})
+	}
+	if n := searchMemo.len(); n <= searchMemoShards {
+		t.Fatalf("default cap not restored: %d entries after 100 inserts", n)
+	}
+}
+
+// TestSemiexactRunMemoReplay runs the same embedding problem twice and
+// checks the replay is observationally identical to the live run: same
+// verdict, same encoding, and every searcher tally restored.
+func TestSemiexactRunMemoReplay(t *testing.T) {
+	searchMemoReset()
+	defer searchMemoReset()
+	ics := paperConstraints()
+
+	live := semiexactRun(nil, 7, ics, 4, 0, nil, false, "search.semiexact")
+	if live.s.memoHit {
+		t.Fatal("first run hit a memo that was just reset")
+	}
+	if !live.ok {
+		t.Fatal("paper instance at k=4 should embed")
+	}
+
+	replay := semiexactRun(nil, 7, ics, 4, 0, nil, false, "search.semiexact")
+	if !replay.s.memoHit {
+		t.Fatal("second identical run missed the memo")
+	}
+	if replay.ok != live.ok || replay.work != live.work {
+		t.Fatalf("replay verdict (ok=%v work=%d) != live (ok=%v work=%d)",
+			replay.ok, replay.work, live.ok, live.work)
+	}
+	ls, rs := live.s, replay.s
+	if rs.work != ls.work || rs.backtracks != ls.backtracks ||
+		rs.checksOK != ls.checksOK || rs.checksFail != ls.checksFail ||
+		rs.symPruned != ls.symPruned || rs.budget != ls.budget || rs.solved != ls.solved {
+		t.Fatalf("replay tallies diverge: live=%+v replay=%+v", ls, rs)
+	}
+	le, re := live.enc, replay.enc
+	if le.Bits != re.Bits || len(le.Codes) != len(re.Codes) {
+		t.Fatalf("replay encoding shape differs: %v vs %v", le, re)
+	}
+	for i := range le.Codes {
+		if le.Codes[i] != re.Codes[i] {
+			t.Fatalf("replay code %d differs: %x vs %x", i, le.Codes[i], re.Codes[i])
+		}
+	}
+	// The replayed encoding is a copy — mutating it must not poison the
+	// cached entry.
+	re.Codes[0] ^= 1
+	again := semiexactRun(nil, 7, ics, 4, 0, nil, false, "search.semiexact")
+	if again.enc.Codes[0] != le.Codes[0] {
+		t.Fatal("mutating a replayed encoding corrupted the memo entry")
+	}
+}
+
+// TestMemoBudgetRegimes checks the cap-compatibility rules end to end: a
+// budget-truncated entry replays only at the exact same cap, and a
+// noPrune run neither probes nor records.
+func TestMemoBudgetRegimes(t *testing.T) {
+	searchMemoReset()
+	defer searchMemoReset()
+	ics := paperConstraints()
+
+	// maxWork=3 cannot solve the paper instance: a budget verdict.
+	first := semiexactRun(nil, 7, ics, 4, 3, nil, false, "search.semiexact")
+	if first.ok || !first.s.budget {
+		t.Fatalf("expected a budget failure, got ok=%v budget=%v", first.ok, first.s.budget)
+	}
+
+	// Same cap: replayed.
+	same := semiexactRun(nil, 7, ics, 4, 3, nil, false, "search.semiexact")
+	if !same.s.memoHit {
+		t.Fatal("same-cap probe missed the budget verdict")
+	}
+	// Larger cap: must run live (and succeed, overwriting nothing — put
+	// keeps the first entry, but the probe rejects it via usable).
+	larger := semiexactRun(nil, 7, ics, 4, 0, nil, false, "search.semiexact")
+	if larger.s.memoHit {
+		t.Fatal("unbounded probe replayed a budget-truncated verdict")
+	}
+	if !larger.ok {
+		t.Fatal("unbounded run should embed the paper instance")
+	}
+
+	// noPrune runs bypass the memo entirely.
+	searchMemoReset()
+	np := semiexactRun(nil, 7, ics, 4, 0, nil, true, "search.semiexact")
+	if np.s.memoHit {
+		t.Fatal("noPrune run consulted the memo")
+	}
+	if n := searchMemo.len(); n != 0 {
+		t.Fatalf("noPrune run recorded %d memo entries", n)
+	}
+}
+
+// TestChainKeyDiscriminates makes sure the key covers every input that
+// changes the searcher's behavior.
+func TestChainKeyDiscriminates(t *testing.T) {
+	ics := paperConstraints()
+	base := chainKey(7, 4, ics, nil)
+	if k := chainKey(7, 3, ics, nil); k == base {
+		t.Fatal("cube dimension not keyed")
+	}
+	if k := chainKey(8, 4, ics, nil); k == base {
+		t.Fatal("symbol count not keyed")
+	}
+	if k := chainKey(7, 4, ics[:5], nil); k == base {
+		t.Fatal("constraint list not keyed")
+	}
+	if k := chainKey(7, 4, ics, []OCEdge{{U: 1, V: 2}}); k == base {
+		t.Fatal("output covering edges not keyed")
+	}
+	rev := []OCEdge{{U: 2, V: 1}}
+	if chainKey(7, 4, ics, rev) == chainKey(7, 4, ics, []OCEdge{{U: 1, V: 2}}) {
+		t.Fatal("edge direction not keyed")
+	}
+}

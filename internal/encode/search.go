@@ -10,6 +10,7 @@ package encode
 import (
 	"context"
 	"errors"
+	"math/bits"
 
 	"nova/internal/constraint"
 	"nova/internal/encoding"
@@ -37,6 +38,56 @@ type faceKey struct{ val, x uint64 }
 
 func keyOf(f face.Face) faceKey { return faceKey{f.Val &^ f.X, f.X} }
 
+// orbitKey is the canonical signature of a face's orbit under the
+// stabilizer of {full cube, f0} in the k-cube's automorphism group,
+// where f0 is the first placed face in canonical position (Val=0,
+// X=lowMask(l)). The stabilizer is exactly the pairs (π, t) of a
+// coordinate permutation π preserving f0's free-coordinate set X0
+// setwise and a translation t ⊆ X0; two faces are related by such a
+// map iff they agree on (free coordinates inside X0, total free
+// coordinates, fixed-1 coordinates outside X0) — the permutation moves
+// coordinates within/outside X0 independently, and the translation
+// clears any fixed-value pattern inside X0.
+type orbitKey struct{ a, b, c uint8 }
+
+func orbitKeyOf(f face.Face, x0 uint64) orbitKey {
+	return orbitKey{
+		uint8(bits.OnesCount64(f.X & x0)),
+		uint8(bits.OnesCount64(f.X)),
+		uint8(bits.OnesCount64(f.Val &^ f.X &^ x0)),
+	}
+}
+
+// orbitKey2 is the third-placement analogue of orbitKey: the signature
+// of a candidate face's orbit under the stabilizer of {full cube, f0,
+// f1}, where f0 is canonical and f1 is the second placed face. The
+// coordinates split into six classes by (inside/outside X0) × (free /
+// fixed-0 / fixed-1 in f1); a permutation moving coordinates only
+// within a class, together with a translation supported on class 0
+// (free in both faces), fixes both placed faces. Per class the key
+// records how many of the candidate's coordinates are free and how many
+// are fixed at 1 — except class 0, where translations reach every value
+// pattern and only the free count matters. Faces agreeing on the key
+// are related by such a map, so their subtrees are isomorphic.
+type orbitKey2 [6]uint16
+
+func orbit2KeyOf(f face.Face, cls *[6]uint64) orbitKey2 {
+	var key orbitKey2
+	b1 := f.Val &^ f.X
+	for i, m := range cls {
+		nx := uint16(bits.OnesCount64(f.X & m))
+		if i == 0 {
+			key[i] = nx << 8
+			continue
+		}
+		key[i] = nx<<8 | uint16(bits.OnesCount64(b1&m))
+	}
+	return key
+}
+
+// lowMask returns the mask of the l lowest coordinates.
+func lowMask(l int) uint64 { return (uint64(1) << uint(l)) - 1 }
+
 // searcher holds the state of one pos_equiv run: the input graph, the cube
 // dimension, the chosen levels of the primary constraints, the incremental
 // assignment with its undo trail, and the work accounting.
@@ -53,6 +104,12 @@ type searcher struct {
 	// (semiexact).
 	allLevels bool
 
+	// noPrune disables the pruning added on top of the seed searcher
+	// (second-placement orbit breaking; the run-level memo and the
+	// infeasible-constraint skip are gated by the same flag in their
+	// callers). The first-placement break predates the flag and stays on.
+	noPrune bool
+
 	maxWork int  // 0 = unbounded
 	work    int
 	budget  bool // set when the work bound fired
@@ -63,6 +120,15 @@ type searcher struct {
 	backtracks int // solution-path undos in solve
 	checksOK   int // checkFace probes that passed
 	checksFail int // checkFace probes that failed
+	symPruned  int // candidate faces skipped by the orbit break
+
+	// Memo bookkeeping. A replayed searcher (memoHit) carries no graph:
+	// only flushMetrics and extract may be called on it. memoEnc holds
+	// the memoized encoding; memoHits/memoMisses feed the counters.
+	memoHit    bool
+	memoHits   int
+	memoMisses int
+	memoEnc    encoding.Encoding
 
 	// ctx, when non-nil, is polled every ctxCheckInterval work ticks;
 	// cancellation aborts the search like an exhausted budget, with
@@ -70,8 +136,17 @@ type searcher struct {
 	ctx      context.Context
 	canceled bool
 
-	assigned map[*constraint.Node]face.Face
-	used     map[faceKey]*constraint.Node
+	// The assignment, indexed by Node.Index: aface[i] is node i's face,
+	// valid iff ahave[i]. alist is the set of assigned nodes in
+	// insertion order (universe first) — the searcher's verdicts are
+	// independent of iteration order, so unassign swap-removes through
+	// apos. single caches Card()==1 per node.
+	aface  []face.Face
+	ahave  []bool
+	apos   []int32
+	alist  []*constraint.Node
+	single []bool
+	used   map[faceKey]*constraint.Node
 
 	oc         []OCEdge
 	singletons []*constraint.Node // per symbol
@@ -81,18 +156,32 @@ type searcher struct {
 	// its level probes are read immediately), so plain reuse is safe.
 	lvbuf    []int
 	candsBuf []*constraint.Node
+
+	// orbitBuf / orbitBuf2 are the seen-orbit sets of the second- and
+	// third-placement breaks. Only one solve frame can ever observe a
+	// given assignment count at a time (deeper frames see more
+	// assignments, and each frame clears its buffer on entry), so one
+	// buffer per depth suffices.
+	orbitBuf  map[orbitKey]bool
+	orbitBuf2 map[orbitKey2]bool
 }
 
 func newSearcher(g *constraint.Graph, k int) *searcher {
+	nn := len(g.Nodes)
 	s := &searcher{
-		g:        g,
-		k:        k,
-		assigned: map[*constraint.Node]face.Face{},
-		used:     map[faceKey]*constraint.Node{},
+		g:      g,
+		k:      k,
+		aface:  make([]face.Face, nn),
+		ahave:  make([]bool, nn),
+		apos:   make([]int32, nn),
+		single: make([]bool, nn),
+		alist:  make([]*constraint.Node, 0, nn),
+		used:   make(map[faceKey]*constraint.Node, nn),
 	}
 	s.singletons = make([]*constraint.Node, g.N)
-	for _, nd := range g.Nodes {
+	for i, nd := range g.Nodes {
 		if nd.Set.Card() == 1 {
+			s.single[i] = true
 			s.singletons[nd.Set.Members()[0]] = nd
 		}
 	}
@@ -114,18 +203,41 @@ func minLevel(nd *constraint.Node) int {
 
 // assign records nd -> f without verification.
 func (s *searcher) assign(nd *constraint.Node, f face.Face) {
-	s.assigned[nd] = f
+	i := nd.Index
+	s.aface[i] = f
+	s.ahave[i] = true
+	s.apos[i] = int32(len(s.alist))
+	s.alist = append(s.alist, nd)
 	s.used[keyOf(f)] = nd
 }
 
 func (s *searcher) unassign(nd *constraint.Node) {
-	f, ok := s.assigned[nd]
-	if !ok {
+	i := nd.Index
+	if !s.ahave[i] {
 		return
 	}
-	delete(s.assigned, nd)
-	delete(s.used, keyOf(f))
+	s.ahave[i] = false
+	delete(s.used, keyOf(s.aface[i]))
+	p := s.apos[i]
+	last := len(s.alist) - 1
+	if int(p) != last {
+		moved := s.alist[last]
+		s.alist[p] = moved
+		s.apos[moved.Index] = p
+	}
+	s.alist = s.alist[:last]
 }
+
+// faceOf returns nd's assigned face, if any (tests and reporting).
+func (s *searcher) faceOf(nd *constraint.Node) (face.Face, bool) {
+	if nd == nil || !s.ahave[nd.Index] {
+		return face.Face{}, false
+	}
+	return s.aface[nd.Index], true
+}
+
+// assignedCount returns the number of assigned nodes, universe included.
+func (s *searcher) assignedCount() int { return len(s.alist) }
 
 // verify implements the incremental correctness checks of Section 3.4.3
 // for a face f proposed for nd, against every assigned node:
@@ -181,9 +293,11 @@ func (s *searcher) checkFaceConds(nd *constraint.Node, f face.Face) bool {
 	if _, dup := s.used[keyOf(f)]; dup {
 		return false
 	}
-	ndSingle := nd.Set.Card() == 1
-	for jc, g := range s.assigned {
-		jcSingle := jc.Set.Card() == 1
+	ndSingle := s.single[nd.Index]
+	rel := s.g.Rel[nd.Index*len(s.g.Nodes):]
+	for _, jc := range s.alist {
+		j := jc.Index
+		jcSingle := s.single[j]
 		// The defining condition of FACE HYPERCUBE EMBEDDING relates
 		// constraint faces to state codes: f(ic) ∩ f(s) ≠ Φ ⇔ s ∈ ic.
 		// Between two non-singleton faces no relation is required — the
@@ -193,8 +307,9 @@ func (s *searcher) checkFaceConds(nd *constraint.Node, f face.Face) bool {
 		if !ndSingle && !jcSingle {
 			continue
 		}
-		_, nonempty := f.Intersect(g)
-		if !nd.Set.Intersects(jc.Set) {
+		nonempty := f.Intersects(s.aface[j])
+		r := rel[j]
+		if r&constraint.RelIntersects == 0 {
 			if nonempty {
 				return false
 			}
@@ -203,10 +318,10 @@ func (s *searcher) checkFaceConds(nd *constraint.Node, f face.Face) bool {
 		// A singleton inside a constraint must lie inside its face: the
 		// father-chain generation guarantees it for ancestors, and for
 		// non-ancestors membership still requires the vertex inside.
-		if ndSingle && !jcSingle && nd.Set.SubsetOf(jc.Set) && !nonempty {
+		if ndSingle && !jcSingle && r&constraint.RelSubset != 0 && !nonempty {
 			return false
 		}
-		if jcSingle && !ndSingle && jc.Set.SubsetOf(nd.Set) && !nonempty {
+		if jcSingle && !ndSingle && r&constraint.RelSuperset != 0 && !nonempty {
 			return false
 		}
 	}
@@ -225,8 +340,8 @@ func (s *searcher) ocOK(nd *constraint.Node, f face.Face) bool {
 		if sg == nd {
 			return f.Val, true
 		}
-		if fc, ok := s.assigned[sg]; ok {
-			return fc.Val, true
+		if s.ahave[sg.Index] {
+			return s.aface[sg.Index].Val, true
 		}
 		return 0, false
 	}
@@ -277,12 +392,12 @@ func (s *searcher) place(nd *constraint.Node, f face.Face) (trail, bool) {
 	for {
 		var next *constraint.Node
 		for _, cand := range s.g.Nodes {
-			if _, as := s.assigned[cand]; as || cand.Cat() != constraint.Cat2 || cand.Set.Card() == 1 {
+			if s.ahave[cand.Index] || cand.Cat() != constraint.Cat2 || s.single[cand.Index] {
 				continue
 			}
 			ready := true
 			for _, fa := range cand.Fathers {
-				if _, as := s.assigned[fa]; !as {
+				if !s.ahave[fa.Index] {
 					ready = false
 					break
 				}
@@ -295,10 +410,10 @@ func (s *searcher) place(nd *constraint.Node, f face.Face) (trail, bool) {
 		if next == nil {
 			break
 		}
-		fi := s.assigned[next.Fathers[0]]
+		fi := s.aface[next.Fathers[0].Index]
 		okI := true
 		for _, fa := range next.Fathers[1:] {
-			fi, okI = fi.Intersect(s.assigned[fa])
+			fi, okI = fi.Intersect(s.aface[fa.Index])
 			if !okI {
 				break
 			}
@@ -322,21 +437,17 @@ func (s *searcher) place(nd *constraint.Node, f face.Face) (trail, bool) {
 	// and enumerating the vertices would dominate the search).
 	const forwardCheckMaxLevel = 6
 	for _, sg := range s.singletons {
-		if sg == nil {
-			continue
-		}
-		if _, as := s.assigned[sg]; as {
+		if sg == nil || s.ahave[sg.Index] {
 			continue
 		}
 		fi, ready := face.Full(s.k), true
 		for _, fa := range sg.Fathers {
-			ff, as := s.assigned[fa]
-			if !as {
+			if !s.ahave[fa.Index] {
 				ready = false
 				break
 			}
 			var ok bool
-			fi, ok = fi.Intersect(ff)
+			fi, ok = fi.Intersect(s.aface[fa.Index])
 			if !ok {
 				// All fathers assigned with an empty intersection: the
 				// singleton has nowhere to go.
@@ -371,21 +482,20 @@ func (s *searcher) place(nd *constraint.Node, f face.Face) (trail, bool) {
 // 2 once every father is assigned (they are enumerated as vertices of the
 // fathers' intersection rather than forced).
 func (s *searcher) selectable(nd *constraint.Node) bool {
-	if _, as := s.assigned[nd]; as {
+	if s.ahave[nd.Index] {
 		return false
 	}
 	switch nd.Cat() {
 	case constraint.Cat1:
 		return true
 	case constraint.Cat3:
-		_, as := s.assigned[nd.Fathers[0]]
-		return as
+		return s.ahave[nd.Fathers[0].Index]
 	case constraint.Cat2:
-		if nd.Set.Card() != 1 {
+		if !s.single[nd.Index] {
 			return false
 		}
 		for _, fa := range nd.Fathers {
-			if _, as := s.assigned[fa]; !as {
+			if !s.ahave[fa.Index] {
 				return false
 			}
 		}
@@ -416,7 +526,7 @@ func (s *searcher) feasibleLevels(nd *constraint.Node, buf []int) []int {
 		}
 		return append(out, ml)
 	case constraint.Cat3:
-		fl := s.assigned[nd.Fathers[0]].Level()
+		fl := s.aface[nd.Fathers[0].Index].Level()
 		if !s.allLevels {
 			if ml <= fl-1 {
 				return append(out, ml)
@@ -480,7 +590,7 @@ func (s *searcher) nextToCode(lic *constraint.Node) *constraint.Node {
 		}
 		return best
 	}
-	cur := s.assigned[lic].Level()
+	cur := s.aface[lic.Index].Level()
 	canLevel := func(nd *constraint.Node, l int) bool {
 		ls := s.feasibleLevels(nd, s.lvbuf)
 		s.lvbuf = ls[:0]
@@ -544,11 +654,11 @@ func (s *searcher) candidates(nd *constraint.Node, emit func(face.Face) bool) {
 	if nd.Set.Card() == 1 {
 		// Intersection of all assigned fathers' faces (the universe face
 		// for category 1).
-		fi := s.assigned[nd.Fathers[0]]
+		fi := s.aface[nd.Fathers[0].Index]
 		ok := true
 		for _, fa := range nd.Fathers[1:] {
-			if fa2, as := s.assigned[fa]; as {
-				fi, ok = fi.Intersect(fa2)
+			if s.ahave[fa.Index] {
+				fi, ok = fi.Intersect(s.aface[fa.Index])
 				if !ok {
 					return
 				}
@@ -580,7 +690,7 @@ func (s *searcher) candidates(nd *constraint.Node, emit func(face.Face) bool) {
 			}
 		}
 	case constraint.Cat3:
-		ff := s.assigned[nd.Fathers[0]]
+		ff := s.aface[nd.Fathers[0].Index]
 		// Free coordinate positions of the father's face.
 		var free []int
 		for i := 0; i < s.k; i++ {
@@ -614,21 +724,98 @@ func (s *searcher) candidates(nd *constraint.Node, emit func(face.Face) bool) {
 // solve runs the backtracking search to completion. It returns true when
 // every node of the input graph is assigned a face consistently.
 //
-// Symmetry breaking: the very first constraint placed (only the universe
-// assigned) may take only the first verifying face of its level — every
-// face of a given level is equivalent under the automorphisms of the
-// k-cube (coordinate permutations and XOR translations), so any solution
-// can be remapped to one using that face. XOR translations do not preserve
-// bitwise output covering, so the break is disabled when OC edges are
-// active.
+// Symmetry breaking, first placement: the very first constraint placed
+// (only the universe assigned) may take only the first verifying face of
+// its level — every face of a given level is equivalent under the
+// automorphisms of the k-cube (coordinate permutations and XOR
+// translations), so any solution can be remapped to one using that face.
+// XOR translations do not preserve bitwise output covering, so the break
+// is disabled when OC edges are active.
+//
+// Symmetry breaking, second placement (disabled by noPrune): with the
+// first placed face f0 in its canonical position, the automorphisms
+// fixing {full cube, f0} still act on the second face's candidates;
+// candidates sharing an orbitKey are interchangeable, so only the first
+// of each orbit is explored. All verdicts (verify, place, subtree
+// success) are invariant under the stabilizer, so skipping the rest of
+// an orbit never loses a solution — though the *work spent* in
+// isomorphic subtrees is not identical, so under a binding budget the
+// pruned search may give up elsewhere than the unpruned one.
+//
+// Symmetry breaking, third placement (disabled by noPrune): the same
+// argument one level deeper with the stabilizer of {full cube, f0, f1}
+// (orbitKey2), where f1 is whatever face was placed second — chosen or
+// forced, it only matters that the automorphisms fix it. The group is
+// smaller, but the third placement still fans out widely enough for the
+// orbits to collapse many isomorphic subtrees.
 func (s *searcher) solve(lic *constraint.Node) bool {
 	nd := s.nextToCode(lic)
 	if nd == nil {
-		return len(s.assigned) == len(s.g.Nodes)
+		return len(s.alist) == len(s.g.Nodes)
 	}
-	first := len(s.assigned) == 1 && len(s.oc) == 0 // only the universe placed
+	first := len(s.alist) == 1 && len(s.oc) == 0 // only the universe placed
+	var orbitSeen map[orbitKey]bool
+	var x0 uint64
+	var orbit2Seen map[orbitKey2]bool
+	var cls2 [6]uint64
+	if !s.noPrune && len(s.oc) == 0 && len(s.alist) == 2 {
+		// Second placement: alist is {universe, f0's node}. The orbit
+		// argument needs f0 canonical (guaranteed by genface order via
+		// the first-placement break; checked defensively — forced
+		// assignments or a non-first surviving candidate void it).
+		f0 := s.aface[s.alist[1].Index]
+		if f0.Val&^f0.X == 0 && f0.X == lowMask(f0.Level()) {
+			x0 = f0.X
+			if s.orbitBuf == nil {
+				s.orbitBuf = make(map[orbitKey]bool, 64)
+			}
+			for k := range s.orbitBuf {
+				delete(s.orbitBuf, k)
+			}
+			orbitSeen = s.orbitBuf
+		}
+	}
+	if !s.noPrune && len(s.oc) == 0 && len(s.alist) == 3 {
+		// Third placement: f0 must again be canonical; f1 is arbitrary.
+		f0 := s.aface[s.alist[1].Index]
+		if f0.Val&^f0.X == 0 && f0.X == lowMask(f0.Level()) {
+			f1 := s.aface[s.alist[2].Index]
+			full := lowMask(s.k)
+			fx0, x1 := f0.X, f1.X
+			v1 := f1.Val &^ f1.X
+			cls2[0] = fx0 & x1
+			cls2[1] = fx0 &^ x1 &^ v1
+			cls2[2] = fx0 &^ x1 & v1
+			cls2[3] = x1 &^ fx0
+			cls2[4] = full &^ fx0 &^ x1 &^ v1
+			cls2[5] = (full &^ fx0 &^ x1) & v1
+			if s.orbitBuf2 == nil {
+				s.orbitBuf2 = make(map[orbitKey2]bool, 64)
+			}
+			for k := range s.orbitBuf2 {
+				delete(s.orbitBuf2, k)
+			}
+			orbit2Seen = s.orbitBuf2
+		}
+	}
 	found := false
 	s.candidates(nd, func(f face.Face) bool {
+		if orbitSeen != nil {
+			ok := orbitKeyOf(f, x0)
+			if orbitSeen[ok] {
+				s.symPruned++
+				return true
+			}
+			orbitSeen[ok] = true
+		}
+		if orbit2Seen != nil {
+			k2 := orbit2KeyOf(f, &cls2)
+			if orbit2Seen[k2] {
+				s.symPruned++
+				return true
+			}
+			orbit2Seen[k2] = true
+		}
 		t, ok := s.place(nd, f)
 		if !ok {
 			return !s.stopped() // stop enumerating when the budget fired or the context was canceled
@@ -648,7 +835,10 @@ func (s *searcher) solve(lic *constraint.Node) bool {
 }
 
 // flushMetrics adds the searcher's accumulated tallies to m (nil-safe).
-// Call once per search run, after solve returns.
+// Call once per search run, after solve returns. Replayed (memo-hit)
+// searchers flush the original run's tallies, so counters read "as if
+// executed"; the memo.hit/miss counters record the cache behavior on
+// top.
 func (s *searcher) flushMetrics(m *obs.Metrics) {
 	if m == nil {
 		return
@@ -657,15 +847,26 @@ func (s *searcher) flushMetrics(m *obs.Metrics) {
 	m.SearchBacktracks.Add(int64(s.backtracks))
 	m.SearchChecksOK.Add(int64(s.checksOK))
 	m.SearchChecksFail.Add(int64(s.checksFail))
+	if s.symPruned > 0 {
+		m.Add("search.symmetry.pruned", int64(s.symPruned))
+	}
+	if s.memoHits > 0 {
+		m.Add("search.memo.hit", int64(s.memoHits))
+	}
+	if s.memoMisses > 0 {
+		m.Add("search.memo.miss", int64(s.memoMisses))
+	}
 }
 
 // extract returns the encoding defined by the singleton faces: the code of
 // symbol i is the Val vertex of f({i}).
 func (s *searcher) extract() encoding.Encoding {
+	if s.memoHit {
+		return encoding.Encoding{Bits: s.memoEnc.Bits, Codes: append([]uint64(nil), s.memoEnc.Codes...)}
+	}
 	e := encoding.New(s.g.N, s.k)
 	for i, sg := range s.singletons {
-		f := s.assigned[sg]
-		e.Codes[i] = f.Val
+		e.Codes[i] = s.aface[sg.Index].Val
 	}
 	return e
 }
@@ -673,9 +874,9 @@ func (s *searcher) extract() encoding.Encoding {
 // Faces returns a copy of the face assignment keyed by constraint vector,
 // for reporting and tests.
 func (s *searcher) Faces() map[string]face.Face {
-	out := make(map[string]face.Face, len(s.assigned))
-	for nd, f := range s.assigned {
-		out[nd.Set.String()] = f
+	out := make(map[string]face.Face, len(s.alist))
+	for _, nd := range s.alist {
+		out[nd.Set.String()] = s.aface[nd.Index]
 	}
 	return out
 }

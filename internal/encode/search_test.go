@@ -30,8 +30,8 @@ func TestPosEquivPaperInstance(t *testing.T) {
 	if !s.solve(nil) {
 		t.Fatal("pos_equiv failed on the paper instance at k=4, levels (2,2,2,2)")
 	}
-	if len(s.assigned) != len(g.Nodes) {
-		t.Fatalf("assigned %d of %d nodes", len(s.assigned), len(g.Nodes))
+	if s.assignedCount() != len(g.Nodes) {
+		t.Fatalf("assigned %d of %d nodes", s.assignedCount(), len(g.Nodes))
 	}
 	enc := s.extract()
 	if !enc.Distinct() {
@@ -45,7 +45,11 @@ func TestPosEquivPaperInstance(t *testing.T) {
 	}
 	// Faces must respect the level vector for primaries.
 	for nd, l := range s.levels {
-		if got := s.assigned[nd].Level(); got != l {
+		f, as := s.faceOf(nd)
+		if !as {
+			t.Fatalf("primary %s unassigned", nd.Set)
+		}
+		if got := f.Level(); got != l {
 			t.Fatalf("primary %s at level %d, want %d", nd.Set, got, l)
 		}
 	}
@@ -107,7 +111,7 @@ func TestPlaceForcesCat2(t *testing.T) {
 		t.Fatal("place b failed")
 	}
 	mid := g.Lookup(constraint.MustFromString("0110000"))
-	f, as := s.assigned[mid]
+	f, as := s.faceOf(mid)
 	if !as {
 		t.Fatal("category-2 node not forced")
 	}
@@ -127,19 +131,19 @@ func TestUndoRestoresState(t *testing.T) {
 	if _, ok := s.place(a, face.FromString("x0x0")); !ok {
 		t.Fatal("place a failed")
 	}
-	before := len(s.assigned)
+	before := s.assignedCount()
 	tr, ok := s.place(b, face.FromString("x00x"))
 	if !ok {
 		t.Fatal("place b failed")
 	}
-	if len(s.assigned) <= before+1 {
+	if s.assignedCount() <= before+1 {
 		t.Fatal("expected forced assignments beyond b itself")
 	}
 	s.undo(tr)
-	if len(s.assigned) != before {
-		t.Fatalf("undo left %d assigned, want %d", len(s.assigned), before)
+	if s.assignedCount() != before {
+		t.Fatalf("undo left %d assigned, want %d", s.assignedCount(), before)
 	}
-	if _, as := s.assigned[b]; as {
+	if _, as := s.faceOf(b); as {
 		t.Fatal("b still assigned after undo")
 	}
 }

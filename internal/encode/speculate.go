@@ -44,16 +44,42 @@ type specOut struct {
 // perturbing the run's counters. spanName distinguishes speculative
 // executions ("search.speculate") from on-schedule ones
 // ("search.semiexact") in traces.
-func semiexactRun(ctx context.Context, n int, sic []constraint.Constraint, cubeDim, maxWork int, oc []OCEdge, spanName string) specOut {
+//
+// Unless noPrune, the run is memoized at whole-run granularity: the
+// probe happens before the intersection-closure graph is even built, so
+// a hit skips BuildGraph and the search entirely. Only pruning-enabled
+// runs probe or record — the memo then never mixes the two searcher
+// behaviors. Speculative runs may record: the searcher is deterministic
+// given (key, budget), so a discarded branch's verdict is the verdict.
+func semiexactRun(ctx context.Context, n int, sic []constraint.Constraint, cubeDim, maxWork int, oc []OCEdge, noPrune bool, spanName string) specOut {
 	sctx, sp := obs.Span(ctx, spanName)
 	sp.SetInt("constraints", int64(len(sic)))
+	var key string
+	if !noPrune {
+		key = chainKey(n, cubeDim, sic, oc)
+		if v, ok := searchMemo.get(key); ok && v.usable(maxWork) {
+			s := replaySearcher(v)
+			if sp != nil {
+				sp.SetInt("memo_hit", 1)
+				sp.SetInt("work", int64(s.work))
+				sp.End()
+			}
+			out := specOut{ok: v.ok, work: s.work, s: s}
+			if v.ok {
+				out.enc = s.extract()
+			}
+			return out
+		}
+	}
 	g := constraint.BuildGraph(n, sic)
 	s := newSearcher(g, cubeDim)
 	s.allLevels = false
 	s.maxWork = maxWork
 	s.oc = oc
+	s.noPrune = noPrune
 	s.ctx = sctx
 	ok := s.solve(nil)
+	s.solved = ok
 	if sp != nil {
 		sp.SetInt("work", int64(s.work))
 		sp.End()
@@ -61,6 +87,10 @@ func semiexactRun(ctx context.Context, n int, sic []constraint.Constraint, cubeD
 	out := specOut{ok: ok, work: s.work, s: s}
 	if ok {
 		out.enc = s.extract()
+	}
+	if !noPrune {
+		s.memoMisses = 1
+		recordSearch(key, s, out.enc, ok)
 	}
 	return out
 }
@@ -89,7 +119,7 @@ func semiexactChain(opt HybridOptions, n int, ics []constraint.Constraint, cubeD
 			r.err = err
 			return r
 		}
-		e, ok, w := semiexact(opt.Ctx, n, append(append([]constraint.Constraint(nil), r.sic...), ic), cubeDim, opt.MaxWork, nil)
+		e, ok, w := semiexact(opt.Ctx, n, append(append([]constraint.Constraint(nil), r.sic...), ic), cubeDim, opt.MaxWork, nil, opt.NoPrune)
 		r.work += w
 		if ok {
 			r.enc, r.have = e, true
@@ -110,12 +140,12 @@ type spec struct {
 // launch starts a speculative run on the group if a spare worker slot is
 // free (speculation is never worth running inline — it would serialize
 // ahead of the decision that may discard it). Returns nil when skipped.
-func launch(g *sched.Group, m *obs.Metrics, n int, sic []constraint.Constraint, cubeDim, maxWork int) *spec {
+func launch(g *sched.Group, m *obs.Metrics, n int, sic []constraint.Constraint, cubeDim, maxWork int, noPrune bool) *spec {
 	sctx, cancel := context.WithCancel(g.Context())
 	sp := &spec{cancel: cancel, done: make(chan specOut, 1)}
 	accepted := g.TryGo(func(context.Context) error {
 		m.Add("search.spec_branches", 1)
-		sp.done <- semiexactRun(sctx, n, sic, cubeDim, maxWork, nil, "search.speculate")
+		sp.done <- semiexactRun(sctx, n, sic, cubeDim, maxWork, nil, noPrune, "search.speculate")
 		return nil
 	})
 	if !accepted {
@@ -167,8 +197,8 @@ func semiexactChainSpec(opt HybridOptions, n int, ics []constraint.Constraint, c
 		// i, so the speculative runs overlap with the on-schedule one.
 		var onAccept, onReject *spec
 		if i+1 < len(ics) {
-			onAccept = launch(g, m, n, withCand(r.sic, ic, ics[i+1]), cubeDim, opt.MaxWork)
-			onReject = launch(g, m, n, withCand(r.sic, ics[i+1]), cubeDim, opt.MaxWork)
+			onAccept = launch(g, m, n, withCand(r.sic, ic, ics[i+1]), cubeDim, opt.MaxWork, opt.NoPrune)
+			onReject = launch(g, m, n, withCand(r.sic, ics[i+1]), cubeDim, opt.MaxWork, opt.NoPrune)
 			inflight = append(inflight, onAccept, onReject)
 		}
 		var out specOut
@@ -176,7 +206,7 @@ func semiexactChainSpec(opt HybridOptions, n int, ics []constraint.Constraint, c
 			out = <-cur.done
 			m.Add("search.spec_adopted", 1)
 		} else {
-			out = semiexactRun(opt.Ctx, n, withCand(r.sic, ic), cubeDim, opt.MaxWork, nil, "search.semiexact")
+			out = semiexactRun(opt.Ctx, n, withCand(r.sic, ic), cubeDim, opt.MaxWork, nil, opt.NoPrune, "search.semiexact")
 		}
 		out.s.flushMetrics(m) // adopted runs only: discarded ones never count
 		r.work += out.work
@@ -225,7 +255,7 @@ func iexactRoundSerial(opt ExactOptions, m *obs.Metrics, g *constraint.Graph, k 
 		if w <= 0 {
 			return work, true, nil, nil
 		}
-		s := runVector(opt.Ctx, g, k, primaries, dimvect, w)
+		s := runVector(opt.Ctx, g, k, primaries, dimvect, w, opt.NoPrune)
 		s.flushMetrics(m)
 		work += s.work
 		if s.solved {
@@ -239,17 +269,36 @@ func iexactRoundSerial(opt ExactOptions, m *obs.Metrics, g *constraint.Graph, k 
 }
 
 // runVector runs one primary-level-vector search with the given work cap.
+// Unless noPrune, runs are memoized by (graph content, k, level vector);
+// a hit returns a replayed searcher whose observable state matches the
+// original run's (see replaySearcher).
 func runVector(ctx context.Context, g *constraint.Graph, k int,
-	primaries []*constraint.Node, dimvect []int, maxWork int) *searcher {
+	primaries []*constraint.Node, dimvect []int, maxWork int, noPrune bool) *searcher {
+	var key string
+	if !noPrune {
+		key = vectorKey(g, k, dimvect)
+		if v, ok := searchMemo.get(key); ok && v.usable(maxWork) {
+			return replaySearcher(v)
+		}
+	}
 	s := newSearcher(g, k)
 	s.allLevels = true
 	s.maxWork = maxWork
+	s.noPrune = noPrune
 	s.ctx = ctx
 	s.levels = map[*constraint.Node]int{}
 	for i, nd := range primaries {
 		s.levels[nd] = dimvect[i]
 	}
 	s.solved = s.solve(nil)
+	if !noPrune {
+		s.memoMisses = 1
+		var enc encoding.Encoding
+		if s.solved {
+			enc = s.extract()
+		}
+		recordSearch(key, s, enc, s.solved)
+	}
 	return s
 }
 
@@ -299,7 +348,7 @@ func iexactRoundSpec(opt ExactOptions, m *obs.Metrics, g *constraint.Graph, k in
 				}
 				m.Add("search.spec_branches", 1)
 				sctx, sp := obs.Span(ctxs[i], "search.speculate")
-				s := runVector(sctx, g, k, primaries, chunk[i], slice)
+				s := runVector(sctx, g, k, primaries, chunk[i], slice, opt.NoPrune)
 				if sp != nil {
 					sp.SetInt("work", int64(s.work))
 					sp.End()
@@ -343,7 +392,7 @@ func iexactRoundSpec(opt ExactOptions, m *obs.Metrics, g *constraint.Graph, k in
 			if o.s == nil || o.pruned || o.s.canceled {
 				// Not usable standalone (skipped, or canceled by a winner
 				// the budget later truncated): run it on-schedule.
-				s := runVector(opt.Ctx, g, k, primaries, chunk[i], w)
+				s := runVector(opt.Ctx, g, k, primaries, chunk[i], w, opt.NoPrune)
 				s.flushMetrics(m)
 				work += s.work
 				if s.solved {

@@ -11,18 +11,19 @@ import (
 
 // PhaseRow is the per-machine row of the phase table: total traced time
 // plus the self-time of each pipeline stage, classified by span-name
-// prefix (espresso.*, search.*, symbolic.*, mvmin.*; everything else —
-// the nova.encode / nova.finish envelopes — lands in Other). Self times
-// exclude nested child spans, so the stage columns partition Total up to
-// clock skew.
+// prefix (espresso.*, search.*, symbolic.*, mvmin.*, encode.preprocess;
+// everything else — the nova.encode / nova.finish envelopes — lands in
+// Other). Self times exclude nested child spans, so the stage columns
+// partition Total up to clock skew.
 type PhaseRow struct {
-	Machine  string
-	Total    time.Duration
-	Espresso time.Duration
-	Search   time.Duration
-	Symbolic time.Duration
-	Mvmin    time.Duration
-	Other    time.Duration
+	Machine    string
+	Total      time.Duration
+	Preprocess time.Duration
+	Espresso   time.Duration
+	Search     time.Duration
+	Symbolic   time.Duration
+	Mvmin      time.Duration
+	Other      time.Duration
 	// A few headline counters for the table footer.
 	Counters map[string]int64
 }
@@ -57,6 +58,8 @@ func phaseRow(machine string, snap *nova.TelemetrySnapshot) PhaseRow {
 	row := PhaseRow{Machine: machine, Total: snap.Root, Counters: snap.Counters}
 	for _, p := range snap.Phases {
 		switch {
+		case strings.HasPrefix(p.Name, "encode.preprocess"):
+			row.Preprocess += p.Self
 		case strings.HasPrefix(p.Name, "espresso."):
 			row.Espresso += p.Self
 		case strings.HasPrefix(p.Name, "search."):
@@ -77,14 +80,15 @@ func phaseRow(machine string, snap *nova.TelemetrySnapshot) PhaseRow {
 // backtracks and check satisfaction ratio, arena reuse, pool activity).
 func FormatPhaseTable(rows []PhaseRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s\n",
-		"machine", "total", "espresso", "search", "symbolic", "mvmin", "other")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s %10s\n",
+		"machine", "total", "preproc", "espresso", "search", "symbolic", "mvmin", "other")
 	var sum PhaseRow
 	agg := map[string]int64{}
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s\n",
-			r.Machine, ms(r.Total), ms(r.Espresso), ms(r.Search), ms(r.Symbolic), ms(r.Mvmin), ms(r.Other))
+		fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s %10s\n",
+			r.Machine, ms(r.Total), ms(r.Preprocess), ms(r.Espresso), ms(r.Search), ms(r.Symbolic), ms(r.Mvmin), ms(r.Other))
 		sum.Total += r.Total
+		sum.Preprocess += r.Preprocess
 		sum.Espresso += r.Espresso
 		sum.Search += r.Search
 		sum.Symbolic += r.Symbolic
@@ -94,8 +98,8 @@ func FormatPhaseTable(rows []PhaseRow) string {
 			agg[k] += v
 		}
 	}
-	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s\n",
-		"TOTAL", ms(sum.Total), ms(sum.Espresso), ms(sum.Search), ms(sum.Symbolic), ms(sum.Mvmin), ms(sum.Other))
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s %10s\n",
+		"TOTAL", ms(sum.Total), ms(sum.Preprocess), ms(sum.Espresso), ms(sum.Search), ms(sum.Symbolic), ms(sum.Mvmin), ms(sum.Other))
 
 	b.WriteString("\ncounters:\n")
 	fmt.Fprintf(&b, "  espresso iterations      %d\n", agg["espresso.iterations"])
@@ -105,6 +109,9 @@ func FormatPhaseTable(rows []PhaseRow) string {
 		agg["arena.gets"], ratio(agg["arena.reuses"], agg["arena.gets"]))
 	fmt.Fprintf(&b, "  searcher work            %d (backtracks %d)\n",
 		agg["search.work"], agg["search.backtracks"])
+	fmt.Fprintf(&b, "  search pruning           %d merged / %d symmetry pruned / memo hit rate %s\n",
+		agg["search.constraints.merged"], agg["search.symmetry.pruned"],
+		ratio(agg["search.memo.hit"], agg["search.memo.hit"]+agg["search.memo.miss"]))
 	fmt.Fprintf(&b, "  face checks              %d ok / %d fail (satisfaction %s)\n",
 		agg["search.checks_ok"], agg["search.checks_fail"],
 		ratio(agg["search.checks_ok"], agg["search.checks_ok"]+agg["search.checks_fail"]))

@@ -130,6 +130,20 @@ type Options struct {
 	// MaxWork bounds each bounded-backtracking call (paper's max_work);
 	// 0 selects the default.
 	MaxWork int
+	// SearchMemoCap bounds the process-wide failed-embedding memo (the
+	// LRU cache of encoding-search verdicts, shared across runs like the
+	// tautology memo) at that many entries; 0 keeps the current bound
+	// (initially encode.DefaultSearchMemoCap). Negative values are
+	// rejected by Validate.
+	SearchMemoCap int
+	// DisableSearchPruning turns off the search-tree pruning layered on
+	// the embedding searcher — constraint infeasibility skips, hypercube
+	// symmetry breaking beyond the first placement, and the
+	// failed-embedding memo — reverting to the exhaustive enumeration.
+	// The encodings produced are equivalent (same area and cube count;
+	// see the pruning pipeline section of docs/ALGORITHMS.md); the knob
+	// exists for A/B measurement and the equivalence suite.
+	DisableSearchPruning bool
 	// Seed drives the random baseline and random fallbacks.
 	Seed int64
 	// RandomTrials is the batch size for Algorithm Random; 0 selects the
@@ -207,6 +221,9 @@ func newEngine(opt Options) *engine {
 	if opt.IntraParallelism >= 2 {
 		eng.fork = cube.NewFork(eng.pool, opt.IntraForkCubes)
 		eng.fan = encode.Fanout{Pool: eng.pool}
+	}
+	if opt.SearchMemoCap > 0 {
+		encode.SetSearchMemoCap(opt.SearchMemoCap)
 	}
 	return eng
 }
@@ -370,7 +387,7 @@ func (eng *engine) minOpt(ctx context.Context, opt Options) espresso.Options {
 }
 
 func (eng *engine) hybOpt(ctx context.Context, opt Options) encode.HybridOptions {
-	return encode.HybridOptions{MaxWork: opt.MaxWork, Seed: opt.Seed, Ctx: ctx, Fanout: eng.fan}
+	return encode.HybridOptions{MaxWork: opt.MaxWork, Seed: opt.Seed, Ctx: ctx, Fanout: eng.fan, NoPrune: opt.DisableSearchPruning}
 }
 
 // encodeBest fans the three candidate algorithms of "best of NOVA" out
@@ -528,7 +545,7 @@ func encodeInput(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result
 		defer sp.End()
 		switch opt.Algorithm {
 		case IExact:
-			r = encode.IExact(f.NumStates(), cs.States, encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx, Fanout: eng.fan})
+			r = encode.IExact(f.NumStates(), cs.States, encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx, Fanout: eng.fan, NoPrune: opt.DisableSearchPruning})
 			if r.Err == nil && r.GaveUp {
 				// The deprecated Result.GaveUp flag is set in one place
 				// only: the ErrGaveUp branch after g.Wait below.
@@ -554,7 +571,7 @@ func encodeInput(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result
 			var sr encode.Result
 			switch opt.Algorithm {
 			case IExact:
-				sr = encode.IExact(n, cs.SymIns[vi], encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx, Fanout: eng.fan})
+				sr = encode.IExact(n, cs.SymIns[vi], encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx, Fanout: eng.fan, NoPrune: opt.DisableSearchPruning})
 				if sr.Err == nil && sr.GaveUp {
 					sr = encode.IHybrid(n, cs.SymIns[vi], 0, eng.hybOpt(sctx, opt))
 				}

@@ -45,6 +45,9 @@ func (o Options) Validate() error {
 	if o.MaxWork < 0 {
 		return bad("MaxWork %d is negative", o.MaxWork)
 	}
+	if o.SearchMemoCap < 0 {
+		return bad("SearchMemoCap %d is negative", o.SearchMemoCap)
+	}
 	if o.RandomTrials < 0 {
 		return bad("RandomTrials %d is negative", o.RandomTrials)
 	}

@@ -1,0 +1,58 @@
+package nova_test
+
+// Equivalence suite for the search pruning: constraint preprocessing,
+// hypercube symmetry breaking and the failed-embedding memo must not
+// change what any algorithm produces — only how fast it gets there. The
+// sweep compares a default (pruned) run against DisableSearchPruning on
+// every suite machine and algorithm, checking the quality outcomes
+// (area, cube count, encoding length, constraint satisfaction) and
+// give-up parity.
+//
+// Quality is compared rather than full byte-identity: under a binding
+// work budget the pruned searcher spends its work units on different
+// nodes than the exhaustive one, so a budgeted run may legally walk to a
+// different — equally valid — encoding. The serial==parallel identity
+// tests in parallel_test.go pin byte determinism with pruning on.
+
+import (
+	"errors"
+	"testing"
+
+	"nova"
+	"nova/internal/bench"
+)
+
+func TestPruningPreservesQuality(t *testing.T) {
+	algs := []nova.Algorithm{nova.IExact, nova.IHybrid, nova.IOHybrid, nova.IGreedy}
+	for _, name := range parallelSuite {
+		for _, alg := range algs {
+			t.Run(name+"/"+string(alg), func(t *testing.T) {
+				t.Parallel()
+				f := bench.Get(name)
+				opt := nova.Options{Algorithm: alg, Seed: 7, MaxWork: 200_000, Parallelism: 1}
+				pruned, prunedErr := nova.Encode(f, opt)
+				opt.DisableSearchPruning = true
+				plain, plainErr := nova.Encode(f, opt)
+
+				if errors.Is(prunedErr, nova.ErrGaveUp) != errors.Is(plainErr, nova.ErrGaveUp) {
+					t.Fatalf("give-up parity broken: pruned err=%v, unpruned err=%v", prunedErr, plainErr)
+				}
+				if (prunedErr == nil) != (plainErr == nil) {
+					t.Fatalf("error parity broken: pruned err=%v, unpruned err=%v", prunedErr, plainErr)
+				}
+				if prunedErr != nil && !errors.Is(prunedErr, nova.ErrGaveUp) {
+					t.Skipf("both runs failed identically: %v", prunedErr)
+				}
+
+				if pruned.Area != plain.Area || pruned.Cubes != plain.Cubes || pruned.Bits != plain.Bits {
+					t.Fatalf("pruning changed the outcome:\npruned:   area=%d cubes=%d bits=%d\nunpruned: area=%d cubes=%d bits=%d",
+						pruned.Area, pruned.Cubes, pruned.Bits, plain.Area, plain.Cubes, plain.Bits)
+				}
+				if pruned.WSat != plain.WSat || pruned.WUnsat != plain.WUnsat {
+					t.Fatalf("pruning changed constraint satisfaction: pruned %d/%d, unpruned %d/%d",
+						pruned.WSat, pruned.WUnsat, plain.WSat, plain.WUnsat)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package nova_test
+
+// Searcher-regression guard: a pinned, fully serial, traced iexact
+// encode of each suite machine must stay within a committed
+// search.backtracks ceiling. The searcher is deterministic at
+// Parallelism 1 with a fixed seed and budget — and memo replays restore
+// the original run's counters, so a warm failed-embedding memo does not
+// change the totals. A ceiling breach means a change made the pruned
+// search meaningfully dumber; raise the ceiling only with a measured
+// justification (see docs/BENCHMARKS.md for the current baselines).
+
+import (
+	"errors"
+	"testing"
+
+	"nova"
+	"nova/internal/bench"
+)
+
+// backtrackCeiling is ~1.5x the measured search.backtracks of the
+// pruned searcher (symmetry breaking + preprocessing + memo on) per
+// machine, leaving headroom for benign drift while still failing well
+// before the unpruned counts (2-16x higher: bbtas 1334, dk27 11302,
+// lion 26, train11 6482, beecount 545 with DisableSearchPruning).
+var backtrackCeiling = map[string]int64{
+	"bbtas":    130,  // measured 84
+	"dk27":     1250, // measured 813
+	"lion":     15,   // measured 8
+	"shiftreg": 5,    // measured 0
+	"train11":  8800, // measured 5815
+	"beecount": 480,  // measured 317
+}
+
+func TestSearchBacktrackCeiling(t *testing.T) {
+	for _, name := range parallelSuite {
+		t.Run(name, func(t *testing.T) {
+			ceiling, ok := backtrackCeiling[name]
+			if !ok {
+				t.Fatalf("no committed ceiling for %s", name)
+			}
+			f := bench.Get(name)
+			tracer := nova.NewTracer()
+			_, err := nova.Encode(f, nova.Options{
+				Algorithm:   nova.IExact,
+				Seed:        7,
+				MaxWork:     200_000,
+				Parallelism: 1,
+				Tracer:      tracer,
+			})
+			if err != nil && !errors.Is(err, nova.ErrGaveUp) {
+				t.Fatalf("encode: %v", err)
+			}
+			got := tracer.Metrics().Counters()["search.backtracks"]
+			t.Logf("%s: search.backtracks=%d (ceiling %d)", name, got, ceiling)
+			if got > ceiling {
+				t.Errorf("%s: search.backtracks=%d exceeds committed ceiling %d — the pruned search regressed",
+					name, got, ceiling)
+			}
+		})
+	}
+}
