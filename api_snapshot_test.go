@@ -1,0 +1,286 @@
+package nova_test
+
+// Public-API snapshot gate. The exported Go surface of package nova and
+// nova/client is rendered to a stable textual form (one declaration per
+// block, sorted, comments stripped, unexported struct fields and
+// interface methods pruned) and diffed against the committed goldens in
+// testdata/api/. Any change to an exported name, signature, field or
+// constant value fails this test until the golden is regenerated
+// deliberately:
+//
+//	go test -run TestAPISnapshot -update-api .
+//
+// The gate is syntax-only (go/parser, no type checking), so it is fast,
+// needs no build cache, and pins exactly what a reader of the source
+// sees — including struct tags, which are wire contract here.
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite the public-API goldens in testdata/api")
+
+func TestAPISnapshot(t *testing.T) {
+	for _, pkg := range []struct {
+		dir    string
+		golden string
+	}{
+		{".", "nova.golden"},
+		{"client", "client.golden"},
+	} {
+		pkg := pkg
+		t.Run(pkg.golden, func(t *testing.T) {
+			got := exportedSurface(t, pkg.dir)
+			path := filepath.Join("testdata", "api", pkg.golden)
+			if *updateAPI {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden %s (run `go test -run TestAPISnapshot -update-api .`): %v", path, err)
+			}
+			if got != string(want) {
+				t.Errorf("exported API of %s changed:\n%s\n"+
+					"If the change is deliberate, regenerate with `go test -run TestAPISnapshot -update-api .` "+
+					"and note it in CHANGES.md per docs/API.md.", pkg.dir, surfaceDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// exportedSurface parses every non-test file of the package in dir and
+// renders its exported declarations, sorted, one blank line apart.
+func exportedSurface(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	var decls []string
+	var pkgName string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		pkgName = name
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				decls = append(decls, renderDecl(t, fset, decl)...)
+			}
+		}
+	}
+	if pkgName == "" {
+		t.Fatalf("no non-test package found in %s", dir)
+	}
+	sort.Strings(decls)
+	var b strings.Builder
+	fmt.Fprintf(&b, "package %s\n", pkgName)
+	for _, d := range decls {
+		b.WriteString("\n")
+		b.WriteString(d)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// renderDecl returns the exported declarations within decl, pruned and
+// printed in canonical gofmt form. A declaration with nothing exported
+// renders to nothing.
+func renderDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) []string {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+			return nil
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []string{printNode(t, fset, &fn)}
+	case *ast.GenDecl:
+		if d.Tok == token.IMPORT {
+			return nil
+		}
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				ts := *s
+				ts.Doc, ts.Comment = nil, nil
+				pruneType(&ts)
+				out = append(out, printNode(t, fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&ts}}))
+			case *ast.ValueSpec:
+				if !anyExported(s.Names) {
+					continue
+				}
+				vs := *s
+				vs.Doc, vs.Comment = nil, nil
+				out = append(out, printNode(t, fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&vs}}))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// pruneType drops unexported struct fields and interface methods from a
+// type spec, in place on the (copied) spec's shared type node — so it
+// rebuilds the field lists rather than mutating the original AST.
+func pruneType(ts *ast.TypeSpec) {
+	switch typ := ts.Type.(type) {
+	case *ast.StructType:
+		st := *typ
+		st.Fields = pruneFields(typ.Fields)
+		ts.Type = &st
+	case *ast.InterfaceType:
+		it := *typ
+		it.Methods = pruneFields(typ.Methods)
+		ts.Type = &it
+	}
+}
+
+func pruneFields(fl *ast.FieldList) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	kept := &ast.FieldList{Opening: fl.Opening, Closing: fl.Closing}
+	for _, f := range fl.List {
+		nf := *f
+		nf.Doc, nf.Comment = nil, nil
+		if len(f.Names) == 0 { // embedded field / embedded interface
+			if exportedTypeName(f.Type) {
+				kept.List = append(kept.List, &nf)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		nf.Names = names
+		kept.List = append(kept.List, &nf)
+	}
+	return kept
+}
+
+// exportedRecv reports whether a method receiver (nil for plain
+// functions) names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true
+	}
+	return exportedTypeName(recv.List[0].Type)
+}
+
+// exportedTypeName reports whether the leaf identifier of a type
+// expression (unwrapping pointers, generics and package selectors) is
+// exported.
+func exportedTypeName(expr ast.Expr) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e.IsExported()
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			return e.Sel.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func anyExported(names []*ast.Ident) bool {
+	for _, n := range names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+func printNode(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var b strings.Builder
+	cfg := printer.Config{Mode: printer.TabIndent, Tabwidth: 8}
+	if err := cfg.Fprint(&b, fset, node); err != nil {
+		t.Fatalf("print: %v", err)
+	}
+	return b.String()
+}
+
+// surfaceDiff renders a minimal line diff: declarations only in the
+// golden (-) and only in the current surface (+).
+func surfaceDiff(want, got string) string {
+	wantSet := declSet(want)
+	gotSet := declSet(got)
+	var b strings.Builder
+	for _, d := range sortedKeys(wantSet) {
+		if !gotSet[d] {
+			fmt.Fprintf(&b, "- %s\n", strings.ReplaceAll(d, "\n", "\n- "))
+		}
+	}
+	for _, d := range sortedKeys(gotSet) {
+		if !wantSet[d] {
+			fmt.Fprintf(&b, "+ %s\n", strings.ReplaceAll(d, "\n", "\n+ "))
+		}
+	}
+	if b.Len() == 0 {
+		return "(declarations identical but ordering or formatting differs)"
+	}
+	return b.String()
+}
+
+// declSet splits a rendered surface into its blank-line-separated
+// declaration blocks.
+func declSet(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, block := range strings.Split(s, "\n\n") {
+		block = strings.TrimRight(block, "\n")
+		if block != "" {
+			set[block] = true
+		}
+	}
+	return set
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -58,15 +58,7 @@ func EncodeAll(ctx context.Context, fsms []*FSM, opt Options) ([]*Result, error)
 	g := eng.pool.Group(bctx)
 	for i, f := range fsms {
 		g.Go(func(ctx context.Context) error {
-			sctx, sp := obs.Span(ctx, "nova.encode")
-			sp.SetStr("machine", f.Name)
-			defer sp.End()
-			r, err := encodeWith(sctx, eng, f, opt)
-			if t != nil {
-				outcome := outcomeOf(err)
-				sp.SetStr("outcome", outcome)
-				t.Metrics().Add("algo."+outcome+"."+string(opt.Algorithm), 1)
-			}
+			r, err := encodeObserved(ctx, eng, f, opt, t)
 			results[i] = r // partial Result on ErrGaveUp, nil on other failures
 			if err != nil {
 				if f.Name != "" {

@@ -1,0 +1,63 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// backoff computes capped exponential retry delays with deterministic
+// jitter: attempt n gets a delay drawn uniformly from [d/2, d) where
+// d = min(cap, base<<n). The jitter values come from a seeded
+// splitmix64 stream advanced per draw, so one seed yields one exact
+// delay sequence (reproducible tests, replayable incidents) while
+// distinct seeds de-synchronize a fleet of clients retrying against
+// the same struggling server.
+type backoff struct {
+	base, cap time.Duration
+
+	mu    sync.Mutex
+	state uint64
+}
+
+func newBackoff(base, cap time.Duration, seed uint64) *backoff {
+	return &backoff{base: base, cap: cap, state: splitmix64(seed)}
+}
+
+// delay returns the jittered sleep before retry number attempt
+// (0-based: the sleep between the first failure and the second try).
+func (b *backoff) delay(attempt int) time.Duration {
+	d := b.cap
+	// base<<attempt, without shifting into overflow.
+	if attempt < 62 {
+		if shifted := b.base << attempt; shifted > 0 && shifted < b.cap {
+			d = shifted
+		}
+	}
+	b.mu.Lock()
+	var v uint64
+	v, b.state = nextRand(b.state)
+	b.mu.Unlock()
+	u := float64(v>>11) / (1 << 53) // uniform in [0, 1)
+	half := d / 2
+	return half + time.Duration(u*float64(half))
+}
+
+// splitmix64 is Vigna's splitmix64 finalizer — the same tiny seedable
+// generator the server's fault injector uses (deliberately duplicated:
+// the client must not link the serving layer).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// nextRand draws the next value from a splitmix64 stream.
+func nextRand(state uint64) (value, next uint64) {
+	next = state + 0x9e3779b97f4a7c15
+	z := next
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31), next
+}

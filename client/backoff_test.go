@@ -1,0 +1,67 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffBoundsAndCap: every delay for attempt n lies in
+// [d/2, d) with d = min(cap, base<<n), across many draws.
+func TestBackoffBoundsAndCap(t *testing.T) {
+	base, cap := 100*time.Millisecond, 400*time.Millisecond
+	for seed := uint64(0); seed < 8; seed++ {
+		bo := newBackoff(base, cap, seed)
+		for attempt := 0; attempt < 10; attempt++ {
+			d := base << attempt
+			if attempt >= 2 { // 100ms<<2 = 400ms = cap
+				d = cap
+			}
+			got := bo.delay(attempt)
+			if got < d/2 || got >= d {
+				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v)", seed, attempt, got, d/2, d)
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministic: one seed, one exact sequence; different
+// seeds, different sequences.
+func TestBackoffDeterministic(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		bo := newBackoff(50*time.Millisecond, 2*time.Second, seed)
+		out := make([]time.Duration, 12)
+		for i := range out {
+			out[i] = bo.delay(i)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical jitter sequence")
+	}
+}
+
+// TestBackoffHugeAttemptDoesNotOverflow: the shift is clamped, so a
+// pathological attempt count still yields a capped delay.
+func TestBackoffHugeAttemptDoesNotOverflow(t *testing.T) {
+	bo := newBackoff(time.Second, 4*time.Second, 1)
+	for _, attempt := range []int{62, 63, 64, 1000} {
+		got := bo.delay(attempt)
+		if got < 2*time.Second || got >= 4*time.Second {
+			t.Fatalf("attempt %d: delay %v escaped the cap window", attempt, got)
+		}
+	}
+}

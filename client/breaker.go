@@ -1,0 +1,133 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"nova/internal/obs"
+)
+
+// breakerState is the circuit breaker's position. The numeric values
+// are the wire of the client.breaker.state gauge and are stable.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = 0
+	breakerOpen     breakerState = 1
+	breakerHalfOpen breakerState = 2
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a consecutive-failure circuit breaker with half-open
+// probes:
+//
+//	closed --threshold consecutive faults--> open
+//	open --cooldown elapsed--> half-open (admits exactly one probe)
+//	half-open --probe succeeds--> closed
+//	half-open --probe fails--> open (fresh cooldown)
+//
+// Time is passed in rather than read, so the state machine is pure and
+// testable without sleeps. threshold <= 0 disables the breaker: allow
+// always answers true and the state stays closed.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	m         *obs.Metrics
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, m *obs.Metrics) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, m: m}
+}
+
+// allow reports whether an attempt may proceed now. Crossing the
+// cooldown boundary moves open → half-open and admits the caller as
+// the probe; further callers are rejected until the probe reports.
+func (b *breaker) allow(now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			b.m.Add("client.breaker.rejected", 1)
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			b.m.Add("client.breaker.rejected", 1)
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records a healthy answer: the consecutive count resets and
+// a half-open probe's success closes the breaker.
+func (b *breaker) onSuccess() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	b.state = breakerClosed
+}
+
+// onFailure records a server fault at the given time: a failed
+// half-open probe re-opens immediately; in closed state the
+// consecutive count trips the breaker at the threshold.
+func (b *breaker) onFailure(now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.trip(now)
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.trip(now)
+	}
+}
+
+// trip opens the breaker (mu held).
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.fails = 0
+	b.probing = false
+	b.m.Add("client.breaker.opened", 1)
+}
+
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,121 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"nova/internal/obs"
+)
+
+// The breaker state machine is pure — time is an argument — so these
+// tests walk the full transition graph with literal timestamps and
+// never sleep.
+
+func testBreaker(threshold int) (*breaker, *obs.Metrics) {
+	m := obs.New().Metrics()
+	return newBreaker(threshold, time.Minute, m), m
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, m := testBreaker(3)
+	t0 := time.Unix(0, 0)
+	for i := 0; i < 2; i++ {
+		b.onFailure(t0)
+		if b.current() != breakerClosed {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.onFailure(t0)
+	if b.current() != breakerOpen {
+		t.Fatal("breaker closed after reaching the threshold")
+	}
+	if m.Vars()["client.breaker.opened"] != 1 {
+		t.Fatal("opening did not tick client.breaker.opened")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b, _ := testBreaker(3)
+	t0 := time.Unix(0, 0)
+	b.onFailure(t0)
+	b.onFailure(t0)
+	b.onSuccess() // streak broken
+	b.onFailure(t0)
+	b.onFailure(t0)
+	if b.current() != breakerClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerCooldownAndProbe(t *testing.T) {
+	b, m := testBreaker(1)
+	t0 := time.Unix(0, 0)
+	b.onFailure(t0)
+	if b.current() != breakerOpen {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	if b.allow(t0.Add(59 * time.Second)) {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+	if m.Vars()["client.breaker.rejected"] != 1 {
+		t.Fatal("rejection did not tick client.breaker.rejected")
+	}
+	// Cooldown elapsed: exactly one probe goes through.
+	probeAt := t0.Add(61 * time.Second)
+	if !b.allow(probeAt) {
+		t.Fatal("cooldown elapsed but the probe was rejected")
+	}
+	if b.current() != breakerHalfOpen {
+		t.Fatalf("state = %v during probe, want half-open", b.current())
+	}
+	if b.allow(probeAt) {
+		t.Fatal("half-open breaker admitted a second concurrent call")
+	}
+
+	// Probe failure re-opens with a fresh cooldown.
+	b.onFailure(probeAt)
+	if b.current() != breakerOpen {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.allow(probeAt.Add(59 * time.Second)) {
+		t.Fatal("re-opened breaker forgot its fresh cooldown")
+	}
+
+	// Second probe succeeds and closes.
+	again := probeAt.Add(61 * time.Second)
+	if !b.allow(again) {
+		t.Fatal("second probe rejected")
+	}
+	b.onSuccess()
+	if b.current() != breakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.allow(again) {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, m := testBreaker(0)
+	t0 := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		b.onFailure(t0)
+	}
+	if !b.allow(t0) || b.current() != breakerClosed {
+		t.Fatal("disabled breaker tripped")
+	}
+	if len(m.Vars()) != 0 {
+		t.Fatalf("disabled breaker produced counters: %v", m.Vars())
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	cases := map[breakerState]string{
+		breakerClosed: "closed", breakerOpen: "open", breakerHalfOpen: "half-open",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nova"
+	"nova/internal/serve"
+)
+
+// The chaos suite drives the real client against a real novad server
+// with the deterministic fault-injection middleware armed: a fixed
+// (seed, rates) pair replays the same fault schedule every run, so
+// these are reproducible integration tests, not flaky soak tests.
+
+const chaosFSM = `
+.i 1
+.o 1
+.s 4
+.r c0
+0 c0 c1 0
+1 c0 c3 1
+0 c1 c2 1
+1 c1 c0 0
+0 c2 c3 1
+1 c2 c1 0
+0 c3 c0 0
+1 c3 c2 1
+`
+
+// chaosWorkload is 50 distinct requests (the name participates in the
+// cache key, so each is its own cache entry).
+func chaosWorkload() []nova.Request {
+	out := make([]nova.Request, 50)
+	for i := range out {
+		out[i] = nova.Request{
+			KISS2:     chaosFSM,
+			Name:      fmt.Sprintf("m%02d", i),
+			Algorithm: nova.IGreedy,
+		}
+	}
+	return out
+}
+
+// runWorkload executes the workload serially through the client's
+// retry engine and returns the raw response bodies plus the slowest
+// single call.
+func runWorkload(t *testing.T, c *Client, rqs []nova.Request) (bodies [][]byte, worst time.Duration) {
+	t.Helper()
+	for i, rq := range rqs {
+		payload, err := json.Marshal(rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		body, err := c.call(context.Background(), "/v1/encode", payload)
+		if err != nil {
+			t.Fatalf("request %d failed through the resilience layer: %v", i, err)
+		}
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, worst
+}
+
+// TestChaosConvergence is the acceptance scenario: against a server
+// injecting ~20% faults (errors and dropped connections), the client
+// completes 100% of a 50-request workload within its budget, with
+// bounded per-call tail latency, and every response is byte-identical
+// to the same workload against a fault-free server — retries and
+// faults are invisible in the payload.
+func TestChaosConvergence(t *testing.T) {
+	rqs := chaosWorkload()
+
+	clean := serve.New(serve.Config{})
+	cleanSrv := httptest.NewServer(clean)
+	defer cleanSrv.Close()
+	cleanClient, err := New(Config{BaseURL: cleanSrv.URL, Budget: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := runWorkload(t, cleanClient, rqs)
+
+	faulted := serve.New(serve.Config{FaultInjection: &serve.FaultConfig{
+		Seed:      5,
+		ErrorRate: 0.12,
+		DropRate:  0.08, // ~20% total fault rate
+	}})
+	faultedSrv := httptest.NewServer(faulted)
+	defer faultedSrv.Close()
+	c, err := New(Config{
+		BaseURL:          faultedSrv.URL,
+		Budget:           30 * time.Second,
+		MaxRetries:       8,
+		BackoffBase:      time.Millisecond,
+		BackoffCap:       20 * time.Millisecond,
+		Seed:             1,
+		BreakerThreshold: -1, // the breaker scenario is tested on its own
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, worst := runWorkload(t, c, rqs)
+
+	// The schedule must actually have injected faults, and the client
+	// must actually have retried through them — otherwise this test
+	// proves nothing.
+	sv := faulted.Vars()
+	if injected := sv["fault.injected.error"] + sv["fault.injected.drop"]; injected == 0 {
+		t.Fatal("fault schedule injected nothing; the chaos run was a clean run")
+	}
+	if c.Vars()["client.retries"] == 0 {
+		t.Fatal("client never retried despite injected faults")
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("response %d differs between faulted and fault-free runs:\n%s\nvs\n%s", i, got[i], want[i])
+		}
+	}
+	// Retries never re-ran the engine: every injected fault fired before
+	// the handler, so each of the 50 unique requests encoded exactly once.
+	if enc := sv["engine.encodes"]; enc != int64(len(rqs)) {
+		t.Fatalf("engine.encodes = %d on the faulted server, want %d (retries must not recompute)", enc, len(rqs))
+	}
+	if worst > 10*time.Second {
+		t.Fatalf("tail latency unbounded: slowest call took %v", worst)
+	}
+}
+
+// TestChaosBreakerOpensAndRecovers: a fully broken upstream opens the
+// breaker after the configured number of consecutive failures, open
+// calls fail fast without touching the server, and once the upstream
+// heals and the cooldown elapses a half-open probe closes it again.
+func TestChaosBreakerOpensAndRecovers(t *testing.T) {
+	healthy := serve.New(serve.Config{})
+	faulty := serve.New(serve.Config{FaultInjection: &serve.FaultConfig{Seed: 1, ErrorRate: 1}})
+	var broken atomic.Bool
+	broken.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if broken.Load() {
+			faulty.ServeHTTP(w, r)
+		} else {
+			healthy.ServeHTTP(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{
+		BaseURL:          srv.URL,
+		MaxRetries:       -1, // isolate the breaker from the retry loop
+		BreakerThreshold: 3,
+		BreakerCooldown:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rq := nova.Request{KISS2: chaosFSM, Algorithm: nova.IGreedy}
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Encode(ctx, rq); err == nil {
+			t.Fatalf("call %d succeeded against a rate-1 fault server", i)
+		}
+	}
+	if c.BreakerState() != "open" {
+		t.Fatalf("breaker = %s after 3 consecutive failures, want open", c.BreakerState())
+	}
+	seen := faulty.Vars()["fault.injected.error"]
+	if _, err := c.Encode(ctx, rq); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if faulty.Vars()["fault.injected.error"] != seen {
+		t.Fatal("open breaker still sent a request upstream")
+	}
+
+	broken.Store(false)
+	time.Sleep(150 * time.Millisecond) // outlive the cooldown
+	rp, err := c.Encode(ctx, rq)
+	if err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if rp.Error != "" || rp.Area <= 0 {
+		t.Fatalf("probe answer is not a healthy encode: %+v", rp)
+	}
+	if c.BreakerState() != "closed" {
+		t.Fatalf("breaker = %s after recovery, want closed", c.BreakerState())
+	}
+	if v := c.Vars(); v["client.breaker.opened"] != 1 || v["client.breaker.rejected"] != 1 {
+		t.Fatalf("breaker counters wrong: opened=%d rejected=%d", v["client.breaker.opened"], v["client.breaker.rejected"])
+	}
+}
+
+// TestChaosHedgingUnderLatency: against a server that randomly stalls
+// half its requests, hedging keeps the workload moving and wins at
+// least once — the tail-latency mechanism demonstrably engages.
+func TestChaosHedgingUnderLatency(t *testing.T) {
+	s := serve.New(serve.Config{FaultInjection: &serve.FaultConfig{
+		Seed:        3,
+		LatencyRate: 0.5,
+		Latency:     300 * time.Millisecond,
+	}})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	c, err := New(Config{
+		BaseURL:    srv.URL,
+		Budget:     10 * time.Second,
+		HedgeDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		rq := nova.Request{KISS2: chaosFSM, Name: fmt.Sprintf("h%02d", i), Algorithm: nova.IGreedy}
+		if _, err := c.Encode(context.Background(), rq); err != nil {
+			t.Fatalf("hedged request %d failed: %v", i, err)
+		}
+	}
+	v := c.Vars()
+	if v["client.hedges"] == 0 {
+		t.Fatal("latency injection never triggered a hedge")
+	}
+	if v["client.hedges.won"] == 0 {
+		t.Fatal("no hedge ever won despite 300ms stalls on half the requests")
+	}
+	if s.Vars()["fault.injected.latency"] == 0 {
+		t.Fatal("latency schedule injected nothing")
+	}
+}
+
+// TestChaosVerifyRoundTrip: an encode's assignment round-trips through
+// the verify endpoint via the client, through the same retry engine.
+func TestChaosVerifyRoundTrip(t *testing.T) {
+	s := serve.New(serve.Config{FaultInjection: &serve.FaultConfig{Seed: 9, ErrorRate: 0.3}})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	c, err := New(Config{BaseURL: srv.URL, MaxRetries: 6, BackoffBase: time.Millisecond, BackoffCap: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rp, err := c.Encode(ctx, nova.Request{KISS2: chaosFSM, Algorithm: nova.IGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := c.Verify(ctx, nova.VerifyRequest{
+		KISS2:   chaosFSM,
+		States:  rp.States,
+		SymIns:  rp.SymIns,
+		SymOuts: rp.SymOuts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vp.OK {
+		t.Fatalf("server rejected its own assignment: %+v", vp)
+	}
+	if vp.APIVersion != nova.WireVersion {
+		t.Fatalf("verify response api_version = %d, want %d", vp.APIVersion, nova.WireVersion)
+	}
+}
+
+// TestChaosBatchThroughFaults: the batch endpoint behind the retry
+// engine — whole-batch faults are retried, per-item results intact.
+func TestChaosBatchThroughFaults(t *testing.T) {
+	s := serve.New(serve.Config{FaultInjection: &serve.FaultConfig{Seed: 13, ErrorRate: 0.3}})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	c, err := New(Config{BaseURL: srv.URL, MaxRetries: 6, BackoffBase: time.Millisecond, BackoffCap: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rqs := []nova.Request{
+		{KISS2: chaosFSM, Name: "b0", Algorithm: nova.IGreedy},
+		{KISS2: chaosFSM, Name: "b1", Algorithm: nova.OneHot},
+	}
+	out, err := c.EncodeBatch(context.Background(), rqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("batch returned %d responses, want 2", len(out))
+	}
+	for i, rp := range out {
+		if rp.Error != "" || rp.Area <= 0 {
+			t.Fatalf("batch item %d unhealthy: %+v", i, rp)
+		}
+	}
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("healthz through the chaos server: %v", err)
+	}
+}

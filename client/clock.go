@@ -1,0 +1,18 @@
+package client
+
+import "time"
+
+// clock abstracts the two time operations the retry and hedge
+// machinery performs, so the unit tests can substitute a fake that
+// records sleeps and fires timers instantly — no test ever sleeps
+// through a real backoff.
+type clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// sysClock is the production clock.
+type sysClock struct{}
+
+func (sysClock) Now() time.Time                         { return time.Now() }
+func (sysClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

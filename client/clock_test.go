@@ -1,0 +1,76 @@
+package client
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// fakeClock is the test clock: Now is driven manually (Advance), and
+// After records the requested duration, advances Now by it and fires
+// instantly — so the retry loop's exact sleep schedule is observable
+// while no test ever sleeps. Setting after overrides timer creation
+// (e.g. a never-firing hedge timer).
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+	after  func(d time.Duration) <-chan time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func (f *fakeClock) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	f.sleeps = append(f.sleeps, d)
+	f.now = f.now.Add(d)
+	ov := f.after
+	now := f.now
+	f.mu.Unlock()
+	if ov != nil {
+		return ov(d)
+	}
+	ch := make(chan time.Time, 1)
+	ch <- now
+	return ch
+}
+
+func (f *fakeClock) recorded() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.sleeps...)
+}
+
+// stubDoer scripts the transport: fn is called with the 0-based call
+// number and the outgoing request.
+type stubDoer struct {
+	mu sync.Mutex
+	n  int
+	fn func(n int, req *http.Request) (*http.Response, error)
+}
+
+func (s *stubDoer) do(req *http.Request) (*http.Response, error) {
+	s.mu.Lock()
+	n := s.n
+	s.n++
+	s.mu.Unlock()
+	return s.fn(n, req)
+}
+
+func (s *stubDoer) calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -1,0 +1,147 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"nova"
+)
+
+// The hedge tests script the race explicitly: the fake clock fires the
+// hedge timer only once the primary has entered the transport (so call
+// number 0 is always the primary), and channel handshakes in the stub
+// transport decide who answers first — deterministic, sleep-free,
+// race-clean.
+
+// gateHedgeTimer makes fc's next timer fire as soon as primaryIn is
+// closed, pinning the primary-before-hedge transport order.
+func gateHedgeTimer(fc *fakeClock, primaryIn <-chan struct{}) {
+	fc.after = func(time.Duration) <-chan time.Time {
+		ch := make(chan time.Time, 1)
+		go func() {
+			<-primaryIn
+			ch <- time.Time{}
+		}()
+		return ch
+	}
+}
+
+// TestHedgeWinsSlowPrimary: the primary hangs until canceled, the
+// hedge answers; the call succeeds, client.hedges.won ticks, and the
+// loser is canceled rather than leaked.
+func TestHedgeWinsSlowPrimary(t *testing.T) {
+	primaryIn := make(chan struct{})
+	primaryCanceled := make(chan struct{})
+	sd := &stubDoer{fn: func(n int, req *http.Request) (*http.Response, error) {
+		if n == 0 { // primary: hang until the winner cancels us
+			close(primaryIn)
+			<-req.Context().Done()
+			close(primaryCanceled)
+			return nil, req.Context().Err()
+		}
+		return httpResp(200, okBody, nil), nil
+	}}
+	c, fc := newTestClient(t, Config{HedgeDelay: 10 * time.Millisecond, MaxRetries: -1}, sd)
+	gateHedgeTimer(fc, primaryIn)
+
+	rp, err := c.Encode(context.Background(), nova.Request{KISS2: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Area != 30 {
+		t.Fatalf("area = %d, want the hedge's answer", rp.Area)
+	}
+	select {
+	case <-primaryCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("losing primary was never canceled")
+	}
+	v := c.Vars()
+	if v["client.hedges"] != 1 || v["client.hedges.won"] != 1 {
+		t.Fatalf("hedges/won = %d/%d, want 1/1", v["client.hedges"], v["client.hedges.won"])
+	}
+}
+
+// TestHedgeBothFail: when primary and hedge both fail, the attempt
+// reports the more informative error and hedges.won stays zero.
+func TestHedgeBothFail(t *testing.T) {
+	primaryIn := make(chan struct{})
+	hedgeDone := make(chan struct{})
+	boom := errors.New("primary transport failure")
+	sd := &stubDoer{fn: func(n int, _ *http.Request) (*http.Response, error) {
+		if n == 0 { // primary: fail only after the hedge has reported
+			close(primaryIn)
+			<-hedgeDone
+			return nil, boom
+		}
+		defer close(hedgeDone)
+		return errResp(503, nova.ErrKindInternal), nil
+	}}
+	c, fc := newTestClient(t, Config{HedgeDelay: time.Millisecond, MaxRetries: -1, BreakerThreshold: -1}, sd)
+	gateHedgeTimer(fc, primaryIn)
+
+	_, err := c.Encode(context.Background(), nova.Request{KISS2: "x"})
+	if err == nil {
+		t.Fatal("both copies failed yet the call succeeded")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) && !errors.Is(err, boom) {
+		t.Fatalf("surfaced error %v is neither copy's failure", err)
+	}
+	v := c.Vars()
+	if v["client.hedges"] != 1 || v["client.hedges.won"] != 0 {
+		t.Fatalf("hedges/won = %d/%d, want 1/0", v["client.hedges"], v["client.hedges.won"])
+	}
+}
+
+// TestNoHedgeWhenPrimaryFast: if the primary answers before the hedge
+// delay elapses, no duplicate is ever sent.
+func TestNoHedgeWhenPrimaryFast(t *testing.T) {
+	sd := &stubDoer{fn: func(int, *http.Request) (*http.Response, error) {
+		return httpResp(200, okBody, nil), nil
+	}}
+	c, fc := newTestClient(t, Config{HedgeDelay: time.Hour}, sd)
+	fc.after = func(time.Duration) <-chan time.Time {
+		return make(chan time.Time) // the hedge timer never fires
+	}
+	if _, err := c.Encode(context.Background(), nova.Request{KISS2: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if sd.calls() != 1 {
+		t.Fatalf("%d requests sent, want 1 (no hedge)", sd.calls())
+	}
+	if v := c.Vars(); v["client.hedges"] != 0 {
+		t.Fatalf("client.hedges = %d, want 0", v["client.hedges"])
+	}
+}
+
+// TestHedgeFailurePrimaryWins: the hedge fails fast, the primary later
+// succeeds — the attempt still succeeds.
+func TestHedgeFailurePrimaryWins(t *testing.T) {
+	primaryIn := make(chan struct{})
+	hedgeDone := make(chan struct{})
+	sd := &stubDoer{fn: func(n int, _ *http.Request) (*http.Response, error) {
+		if n == 0 {
+			close(primaryIn)
+			<-hedgeDone
+			return httpResp(200, okBody, nil), nil
+		}
+		defer close(hedgeDone)
+		return errResp(503, nova.ErrKindInternal), nil
+	}}
+	c, fc := newTestClient(t, Config{HedgeDelay: time.Millisecond, MaxRetries: -1, BreakerThreshold: -1}, sd)
+	gateHedgeTimer(fc, primaryIn)
+	rp, err := c.Encode(context.Background(), nova.Request{KISS2: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Area != 30 {
+		t.Fatalf("area = %d, want the primary's answer", rp.Area)
+	}
+	if v := c.Vars(); v["client.hedges.won"] != 0 {
+		t.Fatal("a failed hedge was counted as won")
+	}
+}

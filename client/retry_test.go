@@ -1,0 +1,310 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"nova"
+)
+
+const okBody = `{"api_version":2,"machine":"m","algorithm":"igreedy","bits":2,"cubes":3,"area":30}`
+
+func httpResp(status int, body string, hdr map[string]string) *http.Response {
+	h := http.Header{}
+	for k, v := range hdr {
+		h.Set(k, v)
+	}
+	return &http.Response{StatusCode: status, Header: h, Body: io.NopCloser(strings.NewReader(body))}
+}
+
+func errResp(status int, kind string) *http.Response {
+	b, _ := json.Marshal(nova.Response{Error: "scripted failure", ErrorKind: kind})
+	return httpResp(status, string(b), nil)
+}
+
+// newTestClient builds a Client on a fake clock and a scripted
+// transport; no request leaves the process and no sleep is real.
+func newTestClient(t *testing.T, cfg Config, sd *stubDoer) (*Client, *fakeClock) {
+	t.Helper()
+	if cfg.BaseURL == "" {
+		cfg.BaseURL = "http://stub.invalid"
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := newFakeClock()
+	c.clk = fc
+	if sd != nil {
+		c.do = sd.do
+	}
+	return c, fc
+}
+
+// TestRetrySucceedsAfterRetryableFailures: two 503s then a success;
+// the sleeps are exactly the seeded backoff sequence (replayed here
+// from an identical backoff stream) and the counters record the story.
+func TestRetrySucceedsAfterRetryableFailures(t *testing.T) {
+	const seed = 42
+	sd := &stubDoer{fn: func(n int, _ *http.Request) (*http.Response, error) {
+		if n < 2 {
+			return errResp(503, nova.ErrKindOverloaded), nil
+		}
+		return httpResp(200, okBody, nil), nil
+	}}
+	c, fc := newTestClient(t, Config{Seed: seed, BackoffBase: 100 * time.Millisecond, BackoffCap: time.Second}, sd)
+
+	rp, err := c.Encode(context.Background(), nova.Request{KISS2: "ignored"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Area != 30 {
+		t.Fatalf("decoded area = %d, want 30", rp.Area)
+	}
+	want := newBackoff(100*time.Millisecond, time.Second, seed)
+	sleeps := fc.recorded()
+	if len(sleeps) != 2 {
+		t.Fatalf("recorded %d sleeps, want 2: %v", len(sleeps), sleeps)
+	}
+	for i, got := range sleeps {
+		if exp := want.delay(i); got != exp {
+			t.Fatalf("sleep %d = %v, want the seeded backoff value %v", i, got, exp)
+		}
+	}
+	v := c.Vars()
+	if v["client.attempts"] != 3 || v["client.retries"] != 2 {
+		t.Fatalf("attempts/retries = %d/%d, want 3/2", v["client.attempts"], v["client.retries"])
+	}
+	if c.BreakerState() != "closed" {
+		t.Fatalf("breaker = %s after recovery, want closed", c.BreakerState())
+	}
+}
+
+// TestRetryHonorsRetryAfter: a Retry-After longer than the computed
+// backoff wins the sleep.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	sd := &stubDoer{fn: func(n int, _ *http.Request) (*http.Response, error) {
+		if n == 0 {
+			b, _ := json.Marshal(nova.Response{Error: "shed", ErrorKind: nova.ErrKindOverloaded})
+			return httpResp(429, string(b), map[string]string{"Retry-After": "7"}), nil
+		}
+		return httpResp(200, okBody, nil), nil
+	}}
+	c, fc := newTestClient(t, Config{BackoffBase: time.Millisecond, BackoffCap: 4 * time.Millisecond}, sd)
+	if _, err := c.Encode(context.Background(), nova.Request{KISS2: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	sleeps := fc.recorded()
+	if len(sleeps) != 1 || sleeps[0] != 7*time.Second {
+		t.Fatalf("sleeps = %v, want exactly the server's 7s Retry-After", sleeps)
+	}
+}
+
+// TestNoRetryOnBadRequest: deterministic failures are final — one
+// attempt, a typed *APIError, breaker untouched.
+func TestNoRetryOnBadRequest(t *testing.T) {
+	sd := &stubDoer{fn: func(int, *http.Request) (*http.Response, error) {
+		return errResp(400, nova.ErrKindBadRequest), nil
+	}}
+	c, fc := newTestClient(t, Config{}, sd)
+	_, err := c.Encode(context.Background(), nova.Request{})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not an *APIError", err)
+	}
+	if ae.Status != 400 || ae.Kind != nova.ErrKindBadRequest || ae.Retryable() {
+		t.Fatalf("unexpected APIError: %+v (retryable=%t)", ae, ae.Retryable())
+	}
+	if sd.calls() != 1 || len(fc.recorded()) != 0 {
+		t.Fatalf("client retried a bad request: %d calls, %v sleeps", sd.calls(), fc.recorded())
+	}
+	if c.BreakerState() != "closed" {
+		t.Fatal("a 400 answer counted against the breaker")
+	}
+}
+
+// TestRetryExhaustion: MaxRetries bounds the attempts and the last
+// error surfaces.
+func TestRetryExhaustion(t *testing.T) {
+	sd := &stubDoer{fn: func(int, *http.Request) (*http.Response, error) {
+		return errResp(503, nova.ErrKindInternal), nil
+	}}
+	c, _ := newTestClient(t, Config{MaxRetries: 2, BreakerThreshold: -1}, sd)
+	_, err := c.Encode(context.Background(), nova.Request{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 503 {
+		t.Fatalf("want the final 503 as *APIError, got %v", err)
+	}
+	if sd.calls() != 3 {
+		t.Fatalf("%d attempts, want 3 (1 try + 2 retries)", sd.calls())
+	}
+	if got := c.Vars()["client.retries"]; got != 2 {
+		t.Fatalf("client.retries = %d, want 2", got)
+	}
+}
+
+// TestTransportErrorRetries: connection-level failures (no HTTP
+// response at all) are retryable.
+func TestTransportErrorRetries(t *testing.T) {
+	boom := errors.New("connection refused")
+	sd := &stubDoer{fn: func(n int, _ *http.Request) (*http.Response, error) {
+		if n < 2 {
+			return nil, boom
+		}
+		return httpResp(200, okBody, nil), nil
+	}}
+	c, _ := newTestClient(t, Config{}, sd)
+	if _, err := c.Encode(context.Background(), nova.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if sd.calls() != 3 {
+		t.Fatalf("%d attempts, want 3", sd.calls())
+	}
+}
+
+// TestBudgetStopsRetrying: when the remaining budget cannot cover the
+// next backoff, the call fails immediately instead of sleeping into
+// its own deadline.
+func TestBudgetStopsRetrying(t *testing.T) {
+	sd := &stubDoer{fn: func(int, *http.Request) (*http.Response, error) {
+		return errResp(503, nova.ErrKindOverloaded), nil
+	}}
+	c, fc := newTestClient(t, Config{
+		Budget:      50 * time.Millisecond,
+		BackoffBase: 10 * time.Second, // any retry would overshoot the budget
+		BackoffCap:  10 * time.Second,
+	}, sd)
+	start := time.Now()
+	_, err := c.Encode(context.Background(), nova.Request{})
+	if err == nil || !strings.Contains(err.Error(), "budget exhausted") {
+		t.Fatalf("err = %v, want a budget-exhausted failure", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatal("budget failure does not wrap the last attempt's *APIError")
+	}
+	if sd.calls() != 1 || len(fc.recorded()) != 0 {
+		t.Fatalf("client slept against a dead budget: %d calls, %v", sd.calls(), fc.recorded())
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("test slept for real")
+	}
+}
+
+// TestRequestStamping: the outgoing request carries the configured
+// priority header and an explicit api_version.
+func TestRequestStamping(t *testing.T) {
+	var gotPri string
+	var gotVersion int
+	sd := &stubDoer{fn: func(_ int, req *http.Request) (*http.Response, error) {
+		gotPri = req.Header.Get("X-Nova-Priority")
+		var rq nova.Request
+		if err := json.NewDecoder(req.Body).Decode(&rq); err != nil {
+			t.Error(err)
+		}
+		gotVersion = rq.APIVersion
+		return httpResp(200, okBody, nil), nil
+	}}
+	c, _ := newTestClient(t, Config{Priority: "low"}, sd)
+	if _, err := c.Encode(context.Background(), nova.Request{KISS2: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if gotPri != "low" {
+		t.Fatalf("X-Nova-Priority = %q, want low", gotPri)
+	}
+	if gotVersion != nova.WireVersion {
+		t.Fatalf("api_version = %d, want %d", gotVersion, nova.WireVersion)
+	}
+}
+
+// TestEncodeBatchInlineErrors: per-item failures come back inline, not
+// as a call error.
+func TestEncodeBatchInlineErrors(t *testing.T) {
+	body := `{"responses":[` + okBody + `,{"error":"budget","error_kind":"gave_up"}]}`
+	sd := &stubDoer{fn: func(int, *http.Request) (*http.Response, error) {
+		return httpResp(200, body, nil), nil
+	}}
+	c, _ := newTestClient(t, Config{}, sd)
+	out, err := c.EncodeBatch(context.Background(), []nova.Request{{KISS2: "a"}, {KISS2: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Area != 30 || out[1].ErrorKind != nova.ErrKindGaveUp {
+		t.Fatalf("batch decode wrong: %+v", out)
+	}
+}
+
+// TestBreakerInCallLoop: consecutive failed calls open the breaker,
+// open calls fail fast without touching the wire, and after the
+// cooldown a successful probe closes it again.
+func TestBreakerInCallLoop(t *testing.T) {
+	healthy := false
+	sd := &stubDoer{fn: func(int, *http.Request) (*http.Response, error) {
+		if healthy {
+			return httpResp(200, okBody, nil), nil
+		}
+		return errResp(503, nova.ErrKindInternal), nil
+	}}
+	c, fc := newTestClient(t, Config{
+		MaxRetries:       -1, // isolate the breaker from the retry loop
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+	}, sd)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.Encode(ctx, nova.Request{}); err == nil {
+			t.Fatal("scripted 503 succeeded")
+		}
+	}
+	if c.BreakerState() != "open" {
+		t.Fatalf("breaker = %s after %d consecutive faults, want open", c.BreakerState(), 2)
+	}
+	wire := sd.calls()
+	_, err := c.Encode(ctx, nova.Request{})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if sd.calls() != wire {
+		t.Fatal("open breaker still sent a request")
+	}
+	v := c.Vars()
+	if v["client.breaker.opened"] != 1 || v["client.breaker.rejected"] != 1 || v["client.breaker.state"] != 1 {
+		t.Fatalf("breaker counters wrong: %v", v)
+	}
+
+	healthy = true
+	fc.Advance(61 * time.Second)
+	if _, err := c.Encode(ctx, nova.Request{}); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if c.BreakerState() != "closed" {
+		t.Fatalf("breaker = %s after successful probe, want closed", c.BreakerState())
+	}
+}
+
+// TestNewValidation pins Config validation and defaulting.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty BaseURL")
+	}
+	if _, err := New(Config{BaseURL: "::not a url"}); err == nil {
+		t.Fatal("New accepted a malformed BaseURL")
+	}
+	c, err := New(Config{BaseURL: "http://h/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != "http://h" {
+		t.Fatalf("base = %q, want trailing slash trimmed", c.base)
+	}
+	if c.cfg.MaxRetries != 3 || c.cfg.BreakerThreshold != 5 {
+		t.Fatalf("defaults not applied: %+v", c.cfg)
+	}
+}

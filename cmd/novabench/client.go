@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"nova"
+	"nova/client"
+	"nova/internal/bench"
+)
+
+// clientFlags are the -serve-url load-generator knobs.
+type clientFlags struct {
+	url       string
+	algorithm string
+	only      []string
+	skipHuge  bool
+	hedge     time.Duration
+	priority  string
+	budget    time.Duration
+	count     int
+}
+
+// clientMain is novabench's client mode: instead of encoding
+// in-process it drives a running novad with the benchmark corpus
+// through the resilient nova/client — a reproducible load generator
+// for chaos and soak testing (pair it with novad -fault-inject). Each
+// machine is one encode request; repetitions after the first should be
+// served from the daemon's content-addressed cache. The run report
+// includes the client's resilience counters, so an operator sees how
+// many retries, hedges and breaker events the workload cost.
+func clientMain(ctx context.Context, cf clientFlags) int {
+	c, err := client.New(client.Config{
+		BaseURL:    cf.url,
+		Budget:     cf.budget,
+		MaxRetries: 5,
+		HedgeDelay: cf.hedge,
+		Priority:   cf.priority,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err := c.Healthz(ctx); err != nil {
+		return fail(fmt.Errorf("server not healthy: %w", err))
+	}
+
+	only := map[string]bool{}
+	for _, name := range cf.only {
+		only[name] = true
+	}
+	var entries []bench.Entry
+	for _, e := range bench.Suite() {
+		if cf.skipHuge && e.Huge {
+			continue
+		}
+		if len(only) > 0 && !only[e.Name] {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return fail(fmt.Errorf("no benchmark machines match -only %s", strings.Join(cf.only, ",")))
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "machine\tbits\tcubes\tarea\tlatency")
+	failures := 0
+	start := time.Now()
+	for rep := 0; rep < cf.count; rep++ {
+		for _, e := range entries {
+			rq := nova.Request{
+				KISS2:     e.F.String(),
+				Name:      e.Name,
+				Algorithm: nova.Algorithm(cf.algorithm),
+			}
+			t0 := time.Now()
+			rp, err := c.Encode(ctx, rq)
+			lat := time.Since(t0).Round(time.Millisecond)
+			if err != nil {
+				failures++
+				fmt.Fprintf(w, "%s\t-\t-\t-\t%v\t%v\n", e.Name, lat, err)
+				continue
+			}
+			if rep == 0 {
+				fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%v\n", e.Name, rp.Bits, rp.Cubes, rp.Area, lat)
+			}
+		}
+	}
+	w.Flush()
+
+	requests := cf.count * len(entries)
+	fmt.Printf("\n%d requests against %s in %v (%d failed)\n",
+		requests, cf.url, time.Since(start).Round(time.Millisecond), failures)
+	vars := c.Vars()
+	keys := make([]string, 0, len(vars))
+	for k := range vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("client counters:")
+	for _, k := range keys {
+		fmt.Printf("  %-28s %d\n", k, vars[k])
+	}
+	fmt.Println("breaker:", c.BreakerState())
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

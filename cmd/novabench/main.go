@@ -7,6 +7,14 @@
 //	          [-json] [-portfolio] [-count N] [-phase-table] [-trace out.json]
 //	          [-cpuprofile f] [-memprofile f]
 //	novabench -compare OLD.json,NEW.json [-area-tol 0] [-time-tol 25]
+//	novabench -serve-url http://host:8089 [-client-alg igreedy] [-client-hedge 20ms]
+//	          [-client-priority low|high] [-only name,name] [-skip-huge] [-count N]
+//
+// -serve-url switches novabench into a client-mode load generator: the
+// benchmark corpus is sent to a running novad through the resilient
+// nova/client package (retries, optional hedging, circuit breaker) and
+// the run report includes the client's resilience counters. Pair it
+// with novad -fault-inject for reproducible chaos runs.
 //
 // With no -table flag every experiment runs in order. Table numbers follow
 // the paper: 1-7 are Tables I-VII, 8-10 are the plot series the paper
@@ -61,6 +69,10 @@ func realMain() int {
 	tracePath := flag.String("trace", "", "write a JSON-lines phase trace to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
+	serveURL := flag.String("serve-url", "", "drive a running novad at this URL instead of encoding in-process (client-mode load generator; honors -only, -skip-huge, -count)")
+	clientAlg := flag.String("client-alg", "igreedy", "algorithm requested per machine in -serve-url mode")
+	clientHedge := flag.Duration("client-hedge", 0, "hedge delay in -serve-url mode (0 = hedging off)")
+	clientPriority := flag.String("client-priority", "", "X-Nova-Priority in -serve-url mode (low or high)")
 	compare := flag.String("compare", "", "OLD.json,NEW.json: diff two BENCH snapshots and exit 1 on area/wall-clock regressions")
 	areaTol := flag.Float64("area-tol", 0, "allowed area growth in percent before -compare fails (encodes are deterministic; default 0)")
 	timeTol := flag.Float64("time-tol", 25, "allowed table wall-clock growth in percent before -compare fails")
@@ -78,6 +90,22 @@ func realMain() int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *serveURL != "" {
+		cf := clientFlags{
+			url:       *serveURL,
+			algorithm: *clientAlg,
+			skipHuge:  *skipHuge,
+			hedge:     *clientHedge,
+			priority:  *clientPriority,
+			budget:    2 * time.Minute,
+			count:     *count,
+		}
+		if *only != "" {
+			cf.only = strings.Split(*only, ",")
+		}
+		return clientMain(ctx, cf)
 	}
 
 	if *cpuprofile != "" {

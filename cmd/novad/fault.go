@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"nova/internal/serve"
+)
+
+// parseFaultSpec parses the -fault-inject / NOVAD_FAULT_INJECT spec: a
+// comma-separated key=value list with keys
+//
+//	seed=N            schedule seed (default 0, a valid fixed schedule)
+//	error=R           probability of an injected 503 per request
+//	drop=R            probability of an aborted connection per request
+//	latency=D         injected delay (time.Duration syntax)
+//	latency-rate=R    probability of the injected delay per request
+//
+// Rates are in [0, 1]. An empty spec returns (nil, nil): fault
+// injection stays structurally absent from the handler chain.
+func parseFaultSpec(spec string) (*serve.FaultConfig, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	fc := &serve.FaultConfig{}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("field %q is not key=value", field)
+		}
+		rate := func() (float64, error) {
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || r < 0 || r > 1 {
+				return 0, fmt.Errorf("%s=%q is not a rate in [0, 1]", key, val)
+			}
+			return r, nil
+		}
+		var err error
+		switch key {
+		case "seed":
+			fc.Seed, err = strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed=%q is not an unsigned integer", val)
+			}
+		case "error":
+			if fc.ErrorRate, err = rate(); err != nil {
+				return nil, err
+			}
+		case "drop":
+			if fc.DropRate, err = rate(); err != nil {
+				return nil, err
+			}
+		case "latency":
+			fc.Latency, err = time.ParseDuration(val)
+			if err != nil || fc.Latency < 0 {
+				return nil, fmt.Errorf("latency=%q is not a duration", val)
+			}
+		case "latency-rate":
+			if fc.LatencyRate, err = rate(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown field %q (want seed, error, drop, latency, latency-rate)", key)
+		}
+	}
+	if fc.ErrorRate == 0 && fc.DropRate == 0 && (fc.LatencyRate == 0 || fc.Latency == 0) {
+		return nil, fmt.Errorf("spec %q arms no fault (all rates zero)", spec)
+	}
+	return fc, nil
+}

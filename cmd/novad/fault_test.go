@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFaultSpec(t *testing.T) {
+	fc, err := parseFaultSpec("seed=5,error=0.1,drop=0.05,latency=50ms,latency-rate=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Seed != 5 || fc.ErrorRate != 0.1 || fc.DropRate != 0.05 ||
+		fc.Latency != 50*time.Millisecond || fc.LatencyRate != 0.2 {
+		t.Fatalf("parsed config wrong: %+v", fc)
+	}
+
+	if fc, err := parseFaultSpec(""); fc != nil || err != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", fc, err)
+	}
+	if fc, err := parseFaultSpec("   "); fc != nil || err != nil {
+		t.Fatalf("blank spec: got (%v, %v), want (nil, nil)", fc, err)
+	}
+
+	bad := []string{
+		"error",             // not key=value
+		"error=1.5",         // rate out of range
+		"error=-0.1",        // negative rate
+		"seed=x",            // not an integer
+		"latency=fast",      // not a duration
+		"frobnicate=1",      // unknown key
+		"seed=5",            // arms nothing
+		"latency=50ms",      // latency without a rate arms nothing
+		"latency-rate=0.5",  // rate without a latency arms nothing
+		"error=0.0,drop=0q", // second field malformed
+	}
+	for _, spec := range bad {
+		if _, err := parseFaultSpec(spec); err == nil {
+			t.Errorf("parseFaultSpec(%q) accepted a bad spec", spec)
+		}
+	}
+}

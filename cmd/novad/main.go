@@ -6,6 +6,12 @@
 //	novad [-addr :8089] [-cache-mb 64] [-max-inflight N] [-queue-wait 100ms]
 //	      [-timeout 30s] [-max-timeout 2m] [-parallel 1] [-intra 0]
 //	      [-grace 30s] [-recorder 32] [-access-log] [-no-request-obs] [-v]
+//	      [-fault-inject "seed=5,error=0.1,drop=0.05"]
+//
+// -fault-inject (or the NOVAD_FAULT_INJECT environment variable) arms
+// the deterministic fault-injection middleware for chaos testing and
+// soak runs; see docs/SERVING.md. Left unset — the default — the
+// middleware is structurally absent from the handler chain.
 //
 // Endpoints, cache semantics and capacity knobs are documented in
 // docs/SERVING.md; the observability surface (GET /metrics Prometheus
@@ -53,10 +59,20 @@ func run() int {
 	accessLog := flag.Bool("access-log", false, "log one structured line per request (request ID, status, cache state, latency split)")
 	noReqObs := flag.Bool("no-request-obs", false, "disable per-request observability (request IDs, flight recorder, access log, ?trace=1)")
 	verbose := flag.Bool("v", false, "log every failed request and print the final counter report")
+	faultSpec := flag.String("fault-inject", "",
+		"arm deterministic fault injection for chaos testing, e.g. \"seed=5,error=0.1,drop=0.05,latency=50ms,latency-rate=0.2\" (default: $NOVAD_FAULT_INJECT; never arm in production)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	tracer := obs.New()
+	if *faultSpec == "" {
+		*faultSpec = os.Getenv("NOVAD_FAULT_INJECT")
+	}
+	fault, err := parseFaultSpec(*faultSpec)
+	if err != nil {
+		logger.Error("bad -fault-inject spec", "err", err)
+		return 2
+	}
 	cfg := serve.Config{
 		CacheBytes:        *cacheMB << 20,
 		MaxInflight:       *maxInflight,
@@ -69,9 +85,16 @@ func run() int {
 		RecorderSize:      *recorder,
 		AccessLog:         *accessLog,
 		DisableRequestObs: *noReqObs,
+		FaultInjection:    fault,
 	}
 	if *verbose || *accessLog {
 		cfg.Logger = logger
+	}
+	if fault != nil {
+		logger.Warn("FAULT INJECTION ARMED — this instance deliberately fails requests",
+			"seed", fault.Seed, "error_rate", fault.ErrorRate,
+			"drop_rate", fault.DropRate, "latency_rate", fault.LatencyRate,
+			"latency", fault.Latency)
 	}
 	s := serve.New(cfg)
 	obs.PublishExpvar("nova", tracer)
@@ -97,7 +120,7 @@ func run() int {
 
 	logger.Info("novad listening", "addr", *addr,
 		"max_inflight", cfg.MaxInflight, "cache_mb", *cacheMB)
-	err := httpSrv.ListenAndServe()
+	err = httpSrv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve failed", "err", err)
 		return 1

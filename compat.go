@@ -1,0 +1,25 @@
+package nova
+
+import "context"
+
+// This file is the single home of the context-free convenience wrappers.
+// The context-first functions (ConstraintsContext, EncodeContext,
+// EncodeAll, VerifyContext) are the canonical public API — everything
+// here is a one-line delegation with context.Background(), kept for
+// callers that have no cancellation story. docs/API.md states the
+// stability policy for both surfaces.
+
+// Constraints is ConstraintsContext with context.Background().
+func Constraints(f *FSM) (states []Constraint, symIns [][]Constraint, err error) {
+	return ConstraintsContext(context.Background(), f)
+}
+
+// Encode is EncodeContext with context.Background().
+func Encode(f *FSM, opt Options) (*Result, error) {
+	return EncodeContext(context.Background(), f, opt)
+}
+
+// Verify is VerifyContext with context.Background().
+func Verify(f *FSM, asg Assignment) error {
+	return VerifyContext(context.Background(), f, asg)
+}

@@ -7,9 +7,9 @@ import "errors"
 // variable (state or symbolic input) that failed.
 var (
 	// ErrGaveUp reports that iexact exhausted its work budget without
-	// settling the instance. The *Result returned alongside it still
-	// carries the deprecated GaveUp flag for callers migrating from the
-	// old silent half-empty-Result convention.
+	// settling the instance. The partial *Result returned alongside it
+	// holds whatever the run had settled; match the condition with
+	// errors.Is(err, ErrGaveUp).
 	ErrGaveUp = errors.New("nova: gave up within the work budget")
 
 	// ErrUnencodable reports that no two-level implementation can be
@@ -28,6 +28,21 @@ var (
 	// length, a negative budget. It is returned by Options.Validate and,
 	// wrapped, by every public entry point before any work starts.
 	ErrBadOptions = errors.New("nova: bad options")
+
+	// ErrUnsupportedVersion reports a wire Request whose api_version field
+	// names a schema revision this build does not speak. It always travels
+	// joined with ErrBadOptions (an unsupported version is a bad request),
+	// but matches separately under errors.Is so clients can distinguish
+	// "upgrade me" from "fix your request". The wire kind is
+	// ErrKindUnsupportedVersion.
+	ErrUnsupportedVersion = errors.New("nova: unsupported wire api_version")
+
+	// ErrOverloaded reports that a serving layer refused the request to
+	// protect itself: admission saturation, priority load shedding, or a
+	// graceful drain. The request itself is fine — retrying after a
+	// backoff (these responses carry a Retry-After header) is the right
+	// reaction. The wire kind is ErrKindOverloaded.
+	ErrOverloaded = errors.New("nova: server overloaded")
 )
 
 // canceledErr wraps a context error so that both nova.ErrCanceled and the

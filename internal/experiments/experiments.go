@@ -114,6 +114,9 @@ type Runner struct {
 	Opts RunOpts
 	mu   sync.Mutex
 	memo map[string]*nova.Result
+	// gaveUp marks memo keys whose run ended in ErrGaveUp: the memoized
+	// Result is the partial one and the tables render a "-" entry.
+	gaveUp map[string]bool
 
 	// Per-machine tracers (observing runs only), plus the shared
 	// line-locked trace writer they stream to.
@@ -123,7 +126,7 @@ type Runner struct {
 
 // NewRunner returns a caching harness runner.
 func NewRunner(opts RunOpts) *Runner {
-	r := &Runner{Opts: opts, memo: map[string]*nova.Result{}}
+	r := &Runner{Opts: opts, memo: map[string]*nova.Result{}, gaveUp: map[string]bool{}}
 	if opts.Observe || opts.TraceWriter != nil {
 		r.tracers = map[string]*nova.Tracer{}
 		if opts.TraceWriter != nil {
@@ -176,8 +179,9 @@ func (o RunOpts) novaOptions(alg nova.Algorithm, bits int) nova.Options {
 }
 
 // Run returns the (cached) result of one algorithm on one machine. An
-// iexact give-up is not an error here: the partial result (GaveUp set)
-// is cached and returned so the tables can render their "-" entries.
+// iexact give-up is not an error here: the partial result is cached and
+// returned (with the give-up recorded in the runner) so the tables can
+// render their "-" entries.
 func (r *Runner) Run(f *kiss.FSM, alg nova.Algorithm, bits int) (*nova.Result, error) {
 	k := fmt.Sprintf("%s/%s/%d", f.Name, alg, bits)
 	r.mu.Lock()
@@ -196,8 +200,19 @@ func (r *Runner) Run(f *kiss.FSM, alg nova.Algorithm, bits int) (*nova.Result, e
 	}
 	r.mu.Lock()
 	r.memo[k] = res
+	if err != nil {
+		r.gaveUp[k] = true
+	}
 	r.mu.Unlock()
 	return res, nil
+}
+
+// gaveUpAt reports whether the memoized run of (machine, algorithm,
+// bits) ended in ErrGaveUp.
+func (r *Runner) gaveUpAt(name string, alg nova.Algorithm, bits int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gaveUp[fmt.Sprintf("%s/%s/%d", name, alg, bits)]
 }
 
 // Memoized returns the cached result of (machine, algorithm, bits) from
@@ -244,10 +259,32 @@ func (r *Runner) Prewarm(ctx context.Context, algs ...nova.Algorithm) error {
 		if err != nil && errors.Is(err, nova.ErrCanceled) {
 			return err
 		}
+		// Attribute give-ups machine by machine: EncodeAll wraps each
+		// per-machine error with the machine's name, so a gave-up partial
+		// result is memoized with its flag and the tables still render
+		// "-" for it.
+		var branches []error
+		if u, ok := err.(interface{ Unwrap() []error }); ok {
+			branches = u.Unwrap()
+		} else if err != nil {
+			branches = []error{err}
+		}
+		gaveUp := func(name string) bool {
+			for _, b := range branches {
+				if errors.Is(b, nova.ErrGaveUp) && strings.HasPrefix(b.Error(), name+": ") {
+					return true
+				}
+			}
+			return false
+		}
 		r.mu.Lock()
 		for i, res := range results {
 			if res != nil {
-				r.memo[fmt.Sprintf("%s/%s/%d", fsms[i].Name, alg, 0)] = res
+				k := fmt.Sprintf("%s/%s/%d", fsms[i].Name, alg, 0)
+				r.memo[k] = res
+				if gaveUp(fsms[i].Name) {
+					r.gaveUp[k] = true
+				}
 			}
 		}
 		r.mu.Unlock()
@@ -325,7 +362,7 @@ type Cell struct {
 }
 
 func cell(res *nova.Result) Cell {
-	return Cell{Bits: res.Bits, Cubes: res.Cubes, Area: res.Area, GaveUp: res.GaveUp}
+	return Cell{Bits: res.Bits, Cubes: res.Cubes, Area: res.Area}
 }
 
 // RowII is one row of Table II.
@@ -345,6 +382,7 @@ func (r *Runner) TableII() ([]RowII, error) {
 			return row, err
 		}
 		row.IExact = cell(ex)
+		row.IExact.GaveUp = r.gaveUpAt(e.F.Name, nova.IExact, 0)
 		hy, err := r.Run(e.F, nova.IHybrid, 0)
 		if err != nil {
 			return row, err
@@ -641,7 +679,7 @@ func (r *Runner) TableVI() ([]RowVI, error) {
 		if err != nil {
 			return row, err
 		}
-		if ex.GaveUp {
+		if r.gaveUpAt(e.F.Name, nova.IExact, 0) {
 			row.ExCLength = -1
 		} else {
 			row.ExCLength = ex.Assignment.States.Bits

@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"nova"
 )
@@ -69,7 +70,7 @@ func servingGlossaryKeys(t *testing.T) (exact map[string]bool, prefixes []string
 // servingPrefixes are the Vars() namespaces owned by the serving layer;
 // keys outside them belong to the engine glossary (guarded by the
 // root-package doc-drift test).
-var servingPrefixes = []string{"http.", "cache.", "engine.", "flight.", "serve.", "server."}
+var servingPrefixes = []string{"http.", "cache.", "engine.", "flight.", "serve.", "server.", "fault."}
 
 // TestServingGlossaryMatchesVars is the doc-drift guard for the serving
 // counter glossary: after real mixed traffic (miss, hit, failure,
@@ -78,7 +79,10 @@ var servingPrefixes = []string{"http.", "cache.", "engine.", "flight.", "serve."
 func TestServingGlossaryMatchesVars(t *testing.T) {
 	exact, prefixes := servingGlossaryKeys(t)
 
-	s := New(Config{})
+	// A latency-only injector with rate 1 makes every request tick
+	// fault.injected.latency, so the fault.* glossary rows stay honest
+	// without perturbing the scripted outcomes below.
+	s := New(Config{FaultInjection: &FaultConfig{LatencyRate: 1, Latency: time.Microsecond}})
 	rq := nova.Request{KISS2: quickFSM, Name: "quick", Algorithm: nova.IGreedy}
 	body, _ := json.Marshal(rq)
 	if w := post(s, "/v1/encode", bytes.NewReader(body)); w.Code != http.StatusOK {

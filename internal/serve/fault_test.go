@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"nova"
+)
+
+// TestFaultInjectionDisabledIsNoOp is the no-op proof: with
+// FaultInjection nil (the default), withFaults returns the handler it
+// was given — the same function value, so the registered chain contains
+// no middleware frame, no rate check, no per-request draw. Stronger
+// than any alloc or latency guard: the disabled path is structurally
+// absent.
+func TestFaultInjectionDisabledIsNoOp(t *testing.T) {
+	s := New(Config{})
+	if s.fault != nil {
+		t.Fatal("fault injector armed without FaultInjection config")
+	}
+	h := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {})
+	if got := s.withFaults(h); reflect.ValueOf(got).Pointer() != reflect.ValueOf(h).Pointer() {
+		t.Fatal("withFaults wrapped the handler although fault injection is disabled")
+	}
+}
+
+// TestFaultInjectionError: rate-1 error injection answers 503 +
+// Retry-After before the handler runs, and ticks the counter.
+func TestFaultInjectionError(t *testing.T) {
+	s := New(Config{FaultInjection: &FaultConfig{Seed: 7, ErrorRate: 1}})
+	rq, _ := json.Marshal(nova.Request{KISS2: quickFSM, Algorithm: nova.IGreedy})
+	w := post(s, "/v1/encode", bytes.NewReader(rq))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("injected 503 without Retry-After")
+	}
+	if s.encodes.Load() != 0 {
+		t.Fatal("injected error still reached the engine")
+	}
+	if got := s.Vars()["fault.injected.error"]; got != 1 {
+		t.Fatalf("fault.injected.error = %d, want 1", got)
+	}
+	// GET endpoints stay clean: health checks and metrics scrapes are
+	// never faulted, so chaos runs can still observe the server.
+	hw := httptest.NewRecorder()
+	s.ServeHTTP(hw, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if hw.Code != http.StatusOK {
+		t.Fatalf("healthz faulted: %d", hw.Code)
+	}
+}
+
+// TestFaultInjectionDrop: rate-1 drop injection aborts the request with
+// http.ErrAbortHandler (net/http closes the connection; the client sees
+// EOF, not a response).
+func TestFaultInjectionDrop(t *testing.T) {
+	s := New(Config{FaultInjection: &FaultConfig{Seed: 7, DropRate: 1}})
+	rq, _ := json.Marshal(nova.Request{KISS2: quickFSM, Algorithm: nova.IGreedy})
+	defer func() {
+		if r := recover(); r != http.ErrAbortHandler {
+			t.Fatalf("recovered %v, want http.ErrAbortHandler", r)
+		}
+		if got := s.Vars()["fault.injected.drop"]; got != 1 {
+			t.Fatalf("fault.injected.drop = %d, want 1", got)
+		}
+	}()
+	post(s, "/v1/encode", bytes.NewReader(rq))
+	t.Fatal("dropped request still answered")
+}
+
+// TestFaultInjectionLatency: rate-1 latency injection delays but does
+// not fail the request.
+func TestFaultInjectionLatency(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	s := New(Config{FaultInjection: &FaultConfig{Seed: 7, LatencyRate: 1, Latency: delay}})
+	rq, _ := json.Marshal(nova.Request{KISS2: quickFSM, Algorithm: nova.IGreedy})
+	start := time.Now()
+	w := post(s, "/v1/encode", bytes.NewReader(rq))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	if d := time.Since(start); d < delay {
+		t.Fatalf("request took %v, want >= %v of injected latency", d, delay)
+	}
+	if got := s.Vars()["fault.injected.latency"]; got != 1 {
+		t.Fatalf("fault.injected.latency = %d, want 1", got)
+	}
+}
+
+// TestFaultScheduleDeterministic: two servers with the same seed and
+// rates inject the identical fault sequence over a serial request
+// stream — the property that makes chaos tests reproducible.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	run := func(seed uint64) []int {
+		s := New(Config{FaultInjection: &FaultConfig{Seed: seed, ErrorRate: 0.4}})
+		rq, _ := json.Marshal(nova.Request{KISS2: quickFSM, Algorithm: nova.IGreedy})
+		var codes []int
+		for i := 0; i < 32; i++ {
+			codes = append(codes, post(s, "/v1/encode", bytes.NewReader(rq)).Code)
+		}
+		return codes
+	}
+	a, b := run(11), run(11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different fault schedules:\n%v\n%v", a, b)
+	}
+	faulted := 0
+	for _, c := range a {
+		if c == http.StatusServiceUnavailable {
+			faulted++
+		}
+	}
+	if faulted == 0 || faulted == len(a) {
+		t.Fatalf("rate-0.4 schedule injected %d/%d faults — draw looks degenerate", faulted, len(a))
+	}
+	if c := run(12); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}

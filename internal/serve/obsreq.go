@@ -33,6 +33,7 @@ type reqObs struct {
 	cache    string        // "hit", "miss", "follower", "" (no cache path)
 	machine  string        // cache-key digest prefix (content address)
 	algo     string        // requested algorithm
+	pri      priority      // X-Nova-Priority criticality class
 	trace    bool          // per-request trace opt-in (?trace=1 / header)
 	phases   []nova.WirePhase
 }
@@ -48,6 +49,15 @@ func (ro *reqObs) setRequest(key string, rq *nova.Request) {
 	}
 	ro.machine = key
 	ro.algo = string(rq.Algorithm)
+}
+
+// setQueue records how long the request waited for its engine slot.
+// Nil-safe: the batch fan-out passes nil for its per-item calls.
+func (ro *reqObs) setQueue(d time.Duration) {
+	if ro == nil {
+		return
+	}
+	ro.queue = d
 }
 
 // setCache records how the cache answered ("hit", "miss", "follower").

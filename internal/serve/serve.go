@@ -18,15 +18,26 @@
 //     byte-bounded LRU; repeated requests are served byte-identical
 //     without a second engine run, and concurrent identical requests
 //     collapse onto one run (singleflight).
-//  2. Admission control. A bounded semaphore caps concurrently served
-//     encode work; a saturated server answers 429 with Retry-After
-//     instead of queueing without bound, and every request runs under a
+//  2. Admission control with priority-aware load shedding. A bounded
+//     semaphore caps concurrent engine work — cache hits bypass it, so
+//     cached requests are served even under pressure. A saturated server
+//     answers 429 + Retry-After instead of queueing without bound, and
+//     sheds selectively: low-criticality requests (X-Nova-Priority: low)
+//     shed immediately, expensive searches (iexact, portfolio, best,
+//     iovariant) shed before cheap heuristics queue, and high-criticality
+//     requests always get the full queue wait. Every request runs under a
 //     deadline (?timeout= up to the configured cap, else the server
-//     default).
+//     default), and every response carries X-Nova-Retry-Safe: encodes
+//     are pure, so retrying is always side-effect free.
 //  3. Graceful drain. Drain flips the server into draining mode:
 //     /v1/healthz reports 503 (so load balancers stop routing), new work
 //     is refused with 503 + Retry-After, and in-flight requests finish
 //     normally (the process owner pairs this with http.Server.Shutdown).
+//  4. Deterministic fault injection (Config.FaultInjection, off by
+//     default): seeded per-request draws inject latency, 503s and
+//     dropped connections on the POST endpoints, so client retry, hedge
+//     and breaker paths are testable without flakiness. Disabled, the
+//     middleware is provably absent — handlers are registered unwrapped.
 package serve
 
 import (
@@ -98,6 +109,11 @@ type Config struct {
 	// disabled path performs no per-request observability allocation —
 	// guarded by TestRequestObsDisabledAllocFree.
 	DisableRequestObs bool
+	// FaultInjection, when non-nil, arms the deterministic fault-
+	// injection middleware on the POST endpoints (see FaultConfig). Nil —
+	// the default — registers the handlers unwrapped: the disabled
+	// middleware is a structural no-op, not a rate check.
+	FaultInjection *FaultConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +184,8 @@ type Server struct {
 	ridPrefix string // per-process request-ID prefix
 	ridSeq    atomic.Uint64
 
+	fault *faultInjector // nil = disabled (handlers registered unwrapped)
+
 	mux    *http.ServeMux
 	encode encodeFunc
 	verify verifyFunc
@@ -186,10 +204,13 @@ func New(cfg Config) *Server {
 		encode:    nova.EncodeContext,
 		verify:    nova.VerifyContext,
 	}
+	if cfg.FaultInjection != nil {
+		s.fault = newFaultInjector(*cfg.FaultInjection, s.Metrics())
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/encode", s.admittedH("/v1/encode", s.handleEncode))
-	mux.HandleFunc("POST /v1/encode/batch", s.admittedH("/v1/encode/batch", s.handleBatch))
-	mux.HandleFunc("POST /v1/verify", s.admittedH("/v1/verify", s.handleVerify))
+	mux.HandleFunc("POST /v1/encode", s.withFaults(s.admittedH("/v1/encode", s.handleEncode)))
+	mux.HandleFunc("POST /v1/encode/batch", s.withFaults(s.admittedH("/v1/encode/batch", s.handleBatch)))
+	mux.HandleFunc("POST /v1/verify", s.withFaults(s.admittedH("/v1/verify", s.handleVerify)))
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -251,13 +272,15 @@ func (s *Server) Vars() map[string]int64 {
 	return out
 }
 
-// admittedH wraps an endpoint with drain refusal, the admission
-// semaphore, the per-request deadline, the request-scoped observability
-// (request IDs, RED metrics, flight recorder, access log) and the body
-// bound. The reqObs record lives on this frame's stack and is threaded
-// to the handler by pointer; its per-endpoint metric names were
-// pre-concatenated at registration, so the request path builds no
-// strings beyond the (opt-in) request ID.
+// admittedH wraps an endpoint with drain refusal, the per-request
+// deadline, the request-scoped observability (request IDs, RED metrics,
+// flight recorder, access log) and the body bound. Engine capacity is
+// NOT taken here: the handlers acquire a slot (acquireSlot) only when
+// real engine work is needed, so cache hits and malformed requests are
+// served even when every slot is busy. The reqObs record lives on this
+// frame's stack and is threaded to the handler by pointer; its
+// per-endpoint metric names were pre-concatenated at registration, so
+// the request path builds no strings beyond the (opt-in) request ID.
 func (s *Server) admittedH(endpoint string, h func(http.ResponseWriter, *http.Request, *reqObs)) http.HandlerFunc {
 	ep := endpointKeysOf(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -267,32 +290,29 @@ func (s *Server) admittedH(endpoint string, h func(http.ResponseWriter, *http.Re
 		var ro reqObs
 		ro.endpoint = ep.name
 		ro.start = time.Now()
+		ro.pri = priorityOf(r)
 		if !s.cfg.DisableRequestObs {
 			ro.id = s.requestID(r)
 			w.Header().Set("X-Request-Id", ro.id)
 			ro.trace = traceRequested(r)
 		}
+		// Retry-safety metadata: every nova endpoint is a pure function
+		// of its request (responses are content-addressed), so a retry
+		// can never duplicate a side effect. Stated per response for
+		// clients and proxies that decide replays generically.
+		w.Header().Set("X-Nova-Retry-Safe", "1")
 		if s.draining.Load() {
 			m.Add("http.rejected.draining", 1)
+			m.Add(shedKey(ro.pri), 1)
 			s.refuse(w, &ro, http.StatusServiceUnavailable, "5", "server draining")
 			return
 		}
-		if !s.acquire(r.Context()) {
-			if r.Context().Err() != nil {
-				return // client hung up while queued; nothing to say
-			}
-			m.Add("http.rejected.saturated", 1)
-			s.refuse(w, &ro, http.StatusTooManyRequests, "1", "server saturated")
-			return
-		}
 		s.admitted.Add(1)
-		ro.queue = time.Since(ro.start)
 		n := s.inflight.Add(1)
 		m.Max("http.inflight_max", n)
 		start := time.Now()
 		defer func() {
 			s.inflight.Add(-1)
-			<-s.sem
 			ro.total = time.Since(start)
 			m.ObserveDur(ep.latency, ro.total)
 			s.finishObs(ep, &ro)
@@ -311,16 +331,37 @@ func (s *Server) admittedH(endpoint string, h func(http.ResponseWriter, *http.Re
 	}
 }
 
-// acquire takes an admission slot, waiting up to cfg.QueueWait; it
-// reports false when the server stayed saturated (or the client left).
-func (s *Server) acquire(ctx context.Context) bool {
+// acquireSlot takes an engine slot under the priority shedding policy.
+// The fast path (a free slot) admits everyone. Under saturation:
+//
+//   - low-priority requests shed immediately — they are the first load
+//     dropped under pressure;
+//   - expensive work (iexact, portfolio, best, iovariant) at normal
+//     priority sheds without queueing — the searches with heavy-tailed
+//     latency go first, cheap heuristics keep flowing;
+//   - everything else (cheap work, and high priority regardless of
+//     cost) waits up to cfg.QueueWait for a slot.
+//
+// A false return means the request was shed (or its client left): the
+// saturation counters are already ticked and the caller answers with
+// the overloaded error. Callers that got true release with releaseSlot.
+func (s *Server) acquireSlot(ctx context.Context, pri priority, cost costClass) bool {
 	select {
 	case s.sem <- struct{}{}:
 		return true
 	default:
 	}
-	if s.cfg.QueueWait <= 0 {
+	shed := func() bool {
+		if ctx.Err() != nil {
+			return false // client gone: accounted as canceled, not shed
+		}
+		m := s.Metrics()
+		m.Add("http.rejected.saturated", 1)
+		m.Add(shedKey(pri), 1)
 		return false
+	}
+	if s.cfg.QueueWait <= 0 || pri == priLow || (cost == costExpensive && pri != priHigh) {
+		return shed()
 	}
 	t := time.NewTimer(s.cfg.QueueWait)
 	defer t.Stop()
@@ -328,10 +369,23 @@ func (s *Server) acquire(ctx context.Context) bool {
 	case s.sem <- struct{}{}:
 		return true
 	case <-t.C:
-		return false
+		return shed()
 	case <-ctx.Done():
 		return false
 	}
+}
+
+func (s *Server) releaseSlot() { <-s.sem }
+
+// overloadedErr is the typed refusal acquireSlot's callers return: the
+// wire kind is ErrKindOverloaded, the status 429, and writeError adds
+// the Retry-After header. A dead client context turns into the canceled
+// error instead, so the 499 accounting stays truthful.
+func overloadedErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", nova.ErrCanceled, err)
+	}
+	return fmt.Errorf("%w: no engine capacity, load shed", nova.ErrOverloaded)
 }
 
 // requestTimeout resolves the per-request deadline from ?timeout=.
@@ -360,7 +414,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request, ro *reqObs
 		s.writeError(w, ro, http.StatusBadRequest, fmt.Errorf("%w: body: %v", nova.ErrBadOptions, err))
 		return
 	}
-	body, hit, err := s.encodeCached(r.Context(), &rq, ro)
+	body, hit, err := s.encodeCached(r.Context(), &rq, ro, ro.pri)
 	if err != nil {
 		s.writeError(w, ro, statusOf(r.Context(), err), err)
 		return
@@ -387,7 +441,12 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request, ro *reqObs
 // table. A request-scoped trace never reaches the cached body: the
 // tracer is request-local and the snapshot is stripped before marshal,
 // so traced and untraced requests share byte-identical cache entries.
-func (s *Server) encodeCached(ctx context.Context, rq *nova.Request, ro *reqObs) (body []byte, hit bool, err error) {
+//
+// The engine slot is taken here, after the cache lookup: cache hits
+// cost no capacity and are served even under saturation; a cache miss
+// pays admission under the priority shedding policy and can come back
+// with the overloaded error.
+func (s *Server) encodeCached(ctx context.Context, rq *nova.Request, ro *reqObs, pri priority) (body []byte, hit bool, err error) {
 	key, err := rq.CacheKey()
 	if err != nil {
 		return nil, false, err
@@ -397,6 +456,12 @@ func (s *Server) encodeCached(ctx context.Context, rq *nova.Request, ro *reqObs)
 		ro.setCache("hit")
 		return b, true, nil
 	}
+	t0 := time.Now()
+	if !s.acquireSlot(ctx, pri, costOf(rq.Algorithm)) {
+		return nil, false, overloadedErr(ctx)
+	}
+	defer s.releaseSlot()
+	ro.setQueue(time.Since(t0))
 	led := false
 	b, joined, err := s.flights.Do(ctx, key, func() ([]byte, error) {
 		led = true
@@ -477,7 +542,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, ro *reqObs)
 	for i := range bq.Requests {
 		g.Go(func(ctx context.Context) error {
 			rq := &bq.Requests[i]
-			body, _, err := s.encodeCached(ctx, rq, nil)
+			body, _, err := s.encodeCached(ctx, rq, nil, ro.pri)
 			if err != nil {
 				if errors.Is(err, nova.ErrCanceled) && ctx.Err() != nil {
 					return err // whole batch canceled: stop the siblings
@@ -518,15 +583,24 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request, ro *reqObs
 		s.writeError(w, ro, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.verify(r.Context(), f, asg); err != nil {
+	t0 := time.Now()
+	if !s.acquireSlot(r.Context(), ro.pri, costCheap) {
+		err := overloadedErr(r.Context())
+		s.writeError(w, ro, statusOf(r.Context(), err), err)
+		return
+	}
+	ro.setQueue(time.Since(t0))
+	err = s.verify(r.Context(), f, asg)
+	s.releaseSlot()
+	if err != nil {
 		if errors.Is(err, nova.ErrCanceled) {
 			s.writeError(w, ro, statusOf(r.Context(), err), err)
 			return
 		}
-		s.writeJSON(w, ro, http.StatusOK, nova.VerifyResponse{OK: false, Error: err.Error(), ErrorKind: nova.ErrorKindOf(err)})
+		s.writeJSON(w, ro, http.StatusOK, nova.VerifyResponse{APIVersion: nova.WireVersion, OK: false, Error: err.Error(), ErrorKind: nova.ErrorKindOf(err)})
 		return
 	}
-	s.writeJSON(w, ro, http.StatusOK, nova.VerifyResponse{OK: true})
+	s.writeJSON(w, ro, http.StatusOK, nova.VerifyResponse{APIVersion: nova.WireVersion, OK: true})
 }
 
 // handleHealthz serves GET /v1/healthz.
@@ -571,6 +645,8 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 // cancellation means the client is gone and the status is moot.
 func statusOf(ctx context.Context, err error) int {
 	switch {
+	case errors.Is(err, nova.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, nova.ErrBadOptions):
 		return http.StatusBadRequest
 	case errors.Is(err, nova.ErrGaveUp), errors.Is(err, nova.ErrUnencodable):
@@ -591,7 +667,7 @@ const statusClientClosedRequest = 499
 
 func (s *Server) refuse(w http.ResponseWriter, ro *reqObs, status int, retryAfter, msg string) {
 	w.Header().Set("Retry-After", retryAfter)
-	s.writeError(w, ro, status, errors.New(msg))
+	s.writeError(w, ro, status, fmt.Errorf("%w: %s", nova.ErrOverloaded, msg))
 }
 
 func (s *Server) writeError(w http.ResponseWriter, ro *reqObs, status int, err error) {
@@ -599,6 +675,9 @@ func (s *Server) writeError(w http.ResponseWriter, ro *reqObs, status int, err e
 	kind := nova.ErrorKindOf(err)
 	if kind == "" {
 		kind = nova.ErrKindInternal
+	}
+	if kind == nova.ErrKindOverloaded && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
 	}
 	ro.setOutcome(status, kind)
 	if s.cfg.Logger != nil {

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"net/http"
+
+	"nova"
+)
+
+// priority is the criticality class a request declares with the
+// X-Nova-Priority header. It only matters under saturation: it decides
+// who sheds first, never who computes faster.
+type priority uint8
+
+const (
+	priNormal priority = iota // default: queue up to QueueWait, expensive work sheds
+	priLow                    // best-effort: first to shed, never queues
+	priHigh                   // critical: always gets the full queue wait
+)
+
+// priorityOf reads the X-Nova-Priority header ("low", "normal", "high";
+// anything else, including absence, is normal). Header lookup only — no
+// per-request allocation.
+func priorityOf(r *http.Request) priority {
+	switch r.Header.Get("X-Nova-Priority") {
+	case "low":
+		return priLow
+	case "high":
+		return priHigh
+	}
+	return priNormal
+}
+
+// String returns the wire spelling (also the counter-key suffix).
+func (p priority) String() string {
+	switch p {
+	case priLow:
+		return "low"
+	case priHigh:
+		return "high"
+	}
+	return "normal"
+}
+
+// shedKeys pre-concatenates the serve.shed.<priority> counter names so
+// the shed path builds no strings.
+var shedKeys = [3]string{
+	priNormal: "serve.shed.normal",
+	priLow:    "serve.shed.low",
+	priHigh:   "serve.shed.high",
+}
+
+func shedKey(p priority) string {
+	if int(p) < len(shedKeys) {
+		return shedKeys[p]
+	}
+	return shedKeys[priNormal]
+}
+
+// costClass splits the algorithms by latency profile for the shedding
+// policy. The searches with heavy-tailed runtime (branch-and-bound
+// iexact, the multi-algorithm portfolio/best races, and the annealing
+// iovariant) are expensive; the one-pass heuristics and baselines are
+// cheap. An absent algorithm defaults to best, hence expensive.
+type costClass uint8
+
+const (
+	costCheap costClass = iota
+	costExpensive
+)
+
+func costOf(alg nova.Algorithm) costClass {
+	switch alg {
+	case "", nova.IExact, nova.Best, nova.Portfolio, nova.IOVariant:
+		return costExpensive
+	}
+	return costCheap
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nova"
+)
+
+func postPri(s *Server, target, pri string, body []byte) *httptest.ResponseRecorder {
+	r := httptest.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+	if pri != "" {
+		r.Header.Set("X-Nova-Priority", pri)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	return w
+}
+
+// blockOneSlot fills the server's only engine slot with a blocked
+// encode and returns the release func. MaxInflight must be 1.
+func blockOneSlot(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	started := make(chan struct{}, 1)
+	releaseC := make(chan struct{})
+	realEncode := s.encode
+	s.encode = func(ctx context.Context, f *nova.FSM, opt nova.Options) (*nova.Result, error) {
+		select {
+		case started <- struct{}{}:
+		default: // later (post-release) encodes run unblocked
+			return realEncode(ctx, f, opt)
+		}
+		<-releaseC
+		return realEncode(ctx, f, opt)
+	}
+	go post(s, "/v1/encode", encodeBody(t, nova.Request{KISS2: quickFSM, Name: "blocker", Algorithm: nova.IGreedy}))
+	<-started
+	return func() { close(releaseC) }
+}
+
+// TestShedLowPriorityImmediately: under saturation a low-priority
+// request sheds without queueing even though QueueWait would allow a
+// long wait, and the shed is typed (429 + Retry-After + overloaded).
+func TestShedLowPriorityImmediately(t *testing.T) {
+	s := New(Config{MaxInflight: 1, QueueWait: 10 * time.Second})
+	release := blockOneSlot(t, s)
+	defer release()
+
+	rq, _ := json.Marshal(nova.Request{KISS2: quickFSM, Name: "low", Algorithm: nova.IGreedy})
+	start := time.Now()
+	w := postPri(s, "/v1/encode", "low", rq)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("low-priority shed queued for %v", d)
+	}
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("shed without Retry-After")
+	}
+	var rp nova.Response
+	if err := json.Unmarshal(w.Body.Bytes(), &rp); err != nil {
+		t.Fatal(err)
+	}
+	if rp.ErrorKind != nova.ErrKindOverloaded {
+		t.Fatalf("error_kind = %q, want %q", rp.ErrorKind, nova.ErrKindOverloaded)
+	}
+	if got := s.Vars()["serve.shed.low"]; got != 1 {
+		t.Fatalf("serve.shed.low = %d, want 1", got)
+	}
+}
+
+// TestShedExpensiveBeforeCheap: under saturation, expensive work at
+// normal priority sheds immediately while cheap work at the same
+// priority queues and completes once a slot frees.
+func TestShedExpensiveBeforeCheap(t *testing.T) {
+	s := New(Config{MaxInflight: 1, QueueWait: 30 * time.Second})
+	release := blockOneSlot(t, s)
+
+	// Expensive (iexact) at normal priority: shed now.
+	exp, _ := json.Marshal(nova.Request{KISS2: quickFSM, Name: "exp", Algorithm: nova.IExact})
+	if w := postPri(s, "/v1/encode", "", exp); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("expensive under saturation: %d, want 429", w.Code)
+	}
+	if got := s.Vars()["serve.shed.normal"]; got != 1 {
+		t.Fatalf("serve.shed.normal = %d, want 1", got)
+	}
+
+	// Cheap (igreedy) at normal priority: queues, then completes.
+	cheap, _ := json.Marshal(nova.Request{KISS2: quickFSM, Name: "cheap", Algorithm: nova.IGreedy})
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- postPri(s, "/v1/encode", "", cheap) }()
+	time.Sleep(10 * time.Millisecond) // let it park in the queue
+	release()
+	select {
+	case w := <-done:
+		if w.Code != http.StatusOK {
+			t.Fatalf("queued cheap request: %d %s", w.Code, w.Body)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("queued cheap request never completed")
+	}
+}
+
+// TestHighPriorityExpensiveQueues: the criticality header buys
+// expensive work the full queue wait instead of the immediate shed.
+func TestHighPriorityExpensiveQueues(t *testing.T) {
+	s := New(Config{MaxInflight: 1, QueueWait: 30 * time.Second})
+	release := blockOneSlot(t, s)
+
+	exp, _ := json.Marshal(nova.Request{KISS2: quickFSM, Name: "crit", Algorithm: nova.IExact})
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- postPri(s, "/v1/encode", "high", exp) }()
+	time.Sleep(10 * time.Millisecond)
+	release()
+	select {
+	case w := <-done:
+		if w.Code != http.StatusOK {
+			t.Fatalf("high-priority expensive request: %d %s", w.Code, w.Body)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("high-priority request never completed")
+	}
+}
+
+// TestCacheHitServedUnderSaturation: cached responses cost no engine
+// slot, so even a low-priority request is answered from cache while the
+// server is saturated — the "cheap/cached admitted under pressure" half
+// of the shedding contract.
+func TestCacheHitServedUnderSaturation(t *testing.T) {
+	s := New(Config{MaxInflight: 1, QueueWait: -1})
+	rq, _ := json.Marshal(nova.Request{KISS2: quickFSM, Name: "warm", Algorithm: nova.IGreedy})
+	if w := postPri(s, "/v1/encode", "", rq); w.Code != http.StatusOK {
+		t.Fatalf("warmup: %d %s", w.Code, w.Body)
+	}
+
+	release := blockOneSlot(t, s)
+	defer release()
+	w := postPri(s, "/v1/encode", "low", rq)
+	if w.Code != http.StatusOK {
+		t.Fatalf("cached request under saturation: %d %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Cache"); got != "HIT" {
+		t.Fatalf("X-Cache = %q, want HIT", got)
+	}
+}
+
+// TestRetrySafeHeader: every response — success, client error, refusal —
+// states its retry safety (all nova endpoints are pure).
+func TestRetrySafeHeader(t *testing.T) {
+	s := New(Config{})
+	rq, _ := json.Marshal(nova.Request{KISS2: quickFSM, Algorithm: nova.IGreedy})
+	if w := postPri(s, "/v1/encode", "", rq); w.Header().Get("X-Nova-Retry-Safe") != "1" {
+		t.Fatal("success response lost X-Nova-Retry-Safe")
+	}
+	if w := postPri(s, "/v1/encode", "", []byte("{")); w.Header().Get("X-Nova-Retry-Safe") != "1" {
+		t.Fatal("400 response lost X-Nova-Retry-Safe")
+	}
+	s.Drain()
+	if w := postPri(s, "/v1/encode", "", rq); w.Header().Get("X-Nova-Retry-Safe") != "1" {
+		t.Fatal("drain refusal lost X-Nova-Retry-Safe")
+	}
+}
+
+// TestBatchShedsPerItem: a saturated server sheds a batch's expensive
+// items inline (the overloaded error in that item's slot) without
+// failing the whole batch — the partial-results contract extends to
+// load shedding.
+func TestBatchShedsPerItem(t *testing.T) {
+	s := New(Config{MaxInflight: 1, QueueWait: -1})
+	// Warm one item so it is served from cache even under saturation.
+	warm, _ := json.Marshal(nova.Request{KISS2: quickFSM, Name: "warm", Algorithm: nova.IGreedy})
+	if w := postPri(s, "/v1/encode", "", warm); w.Code != http.StatusOK {
+		t.Fatalf("warmup: %d %s", w.Code, w.Body)
+	}
+	release := blockOneSlot(t, s)
+	defer release()
+
+	bq, _ := json.Marshal(BatchRequest{Requests: []nova.Request{
+		{KISS2: quickFSM, Name: "warm", Algorithm: nova.IGreedy},
+		{KISS2: quickFSM, Name: "cold", Algorithm: nova.IExact},
+	}})
+	w := postPri(s, "/v1/encode/batch", "", bq)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", w.Code, w.Body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var cached, shed nova.Response
+	if err := json.Unmarshal(out.Responses[0], &cached); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out.Responses[1], &shed); err != nil {
+		t.Fatal(err)
+	}
+	if cached.Error != "" || cached.Area <= 0 {
+		t.Fatalf("cached item should have been served: %+v", cached)
+	}
+	if shed.ErrorKind != nova.ErrKindOverloaded {
+		t.Fatalf("cold expensive item: error_kind = %q, want %q (%+v)", shed.ErrorKind, nova.ErrKindOverloaded, shed)
+	}
+	if !nova.RetryableKind(shed.ErrorKind) {
+		t.Fatal("the shed item's kind must be retryable")
+	}
+}
+
+// TestPriorityOf pins the header parsing (unknown values are normal).
+func TestPriorityOf(t *testing.T) {
+	cases := []struct {
+		hdr  string
+		want priority
+	}{
+		{"", priNormal}, {"low", priLow}, {"high", priHigh},
+		{"normal", priNormal}, {"HIGH", priNormal}, {"urgent", priNormal},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest(http.MethodPost, "/v1/encode", nil)
+		if c.hdr != "" {
+			r.Header.Set("X-Nova-Priority", c.hdr)
+		}
+		if got := priorityOf(r); got != c.want {
+			t.Fatalf("priorityOf(%q) = %v, want %v", c.hdr, got, c.want)
+		}
+		if fmt.Sprint(c.want) == "" {
+			t.Fatalf("priority %d has no name", c.want)
+		}
+	}
+}
+
+// TestCostOf pins the algorithm cost classes the shed policy uses.
+func TestCostOf(t *testing.T) {
+	expensive := []nova.Algorithm{"", nova.IExact, nova.Best, nova.Portfolio, nova.IOVariant}
+	for _, alg := range expensive {
+		if costOf(alg) != costExpensive {
+			t.Fatalf("costOf(%q) should be expensive", alg)
+		}
+	}
+	cheap := []nova.Algorithm{nova.IGreedy, nova.IHybrid, nova.IOHybrid, nova.KISS, nova.OneHot, nova.Random, nova.MustangP}
+	for _, alg := range cheap {
+		if costOf(alg) != costCheap {
+			t.Fatalf("costOf(%q) should be cheap", alg)
+		}
+	}
+}

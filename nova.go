@@ -14,9 +14,17 @@
 // Quick start:
 //
 //	fsm, _ := nova.ParseKISSString(table)
-//	res, _ := nova.Encode(fsm, nova.Options{Algorithm: nova.IHybrid})
+//	res, _ := nova.EncodeContext(ctx, fsm, nova.Options{Algorithm: nova.IHybrid})
 //	fmt.Println(res.Assignment.States, res.Cubes, res.Area)
 //	fmt.Print(res.PLA)
+//
+// The context-first functions — EncodeContext, EncodeAll,
+// ConstraintsContext, VerifyContext — are the canonical entry points:
+// every call that can run for a while takes a context so deadlines and
+// cancellation reach the searches. The context-free conveniences
+// (Encode, Constraints, Verify in compat.go) are one-line wrappers over
+// them with context.Background(). docs/API.md states the stability
+// policy for this surface.
 //
 // The comparison baselines of the paper's evaluation (KISS-style complete
 // constraint satisfaction, MUSTANG-style attraction-weight embedding,
@@ -78,7 +86,8 @@ type Algorithm string
 const (
 	// IExact is iexact_code: exact face hypercube embedding, minimum
 	// length satisfying every input constraint (may give up on hard
-	// instances; see Result.GaveUp).
+	// instances; the run then fails with an error matching
+	// errors.Is(err, ErrGaveUp) alongside a partial Result).
 	IExact Algorithm = "iexact"
 	// IHybrid is ihybrid_code: bounded-backtracking constraint
 	// satisfaction at the minimum length plus projection coding.
@@ -243,12 +252,6 @@ type Result struct {
 	WSat, WUnsat int
 	// SatisfiedOC / TotalOC count output covering edges (iohybrid only).
 	SatisfiedOC, TotalOC int
-	// GaveUp is set when iexact exhausted its work budget.
-	//
-	// Deprecated: Encode now additionally returns an error matching
-	// errors.Is(err, ErrGaveUp) alongside the partial Result; test for
-	// that instead. The field remains for one release.
-	GaveUp bool
 	// RandomAvgArea is the batch average for Algorithm Random.
 	RandomAvgArea int
 	// Winner and WinnerSeedSplit identify the roster member whose cover
@@ -263,16 +266,10 @@ type Result struct {
 	Telemetry *TelemetrySnapshot
 }
 
-// Constraints derives the weighted input constraints of the FSM's state
-// variable (and of each symbolic input) by multiple-valued minimization.
-// It is ConstraintsContext with context.Background().
-func Constraints(f *FSM) (states []Constraint, symIns [][]Constraint, err error) {
-	return ConstraintsContext(context.Background(), f)
-}
-
-// ConstraintsContext is Constraints under a context: cancellation stops
-// the multiple-valued minimization between passes and returns an error
-// matching errors.Is(err, ErrCanceled).
+// ConstraintsContext derives the weighted input constraints of the FSM's
+// state variable (and of each symbolic input) by multiple-valued
+// minimization. Cancellation stops the minimization between passes and
+// returns an error matching errors.Is(err, ErrCanceled).
 func ConstraintsContext(ctx context.Context, f *FSM) (states []Constraint, symIns [][]Constraint, err error) {
 	p, err := mvmin.Build(f)
 	if err != nil {
@@ -285,18 +282,13 @@ func ConstraintsContext(ctx context.Context, f *FSM) (states []Constraint, symIn
 	return cs.States, cs.SymIns, nil
 }
 
-// Encode runs the selected algorithm on the FSM and measures the encoded
-// two-level implementation. It is EncodeContext with
-// context.Background().
-func Encode(f *FSM, opt Options) (*Result, error) {
-	return EncodeContext(context.Background(), f, opt)
-}
-
-// EncodeContext is Encode under a context: cancellation or deadline
-// expiry propagates into the bounded-backtracking searches (checked at
-// their max_work tick) and the espresso loops (checked between passes),
-// so a runaway search stops promptly and the call returns an error
-// matching errors.Is(err, ErrCanceled).
+// EncodeContext runs the selected algorithm on the FSM and measures the
+// encoded two-level implementation. It is the canonical single-machine
+// entry point: cancellation or deadline expiry propagates into the
+// bounded-backtracking searches (checked at their max_work tick) and the
+// espresso loops (checked between passes), so a runaway search stops
+// promptly and the call returns an error matching
+// errors.Is(err, ErrCanceled).
 //
 // The run fans out its independent pieces — the three Best candidates,
 // the Random trial batch, the per-symbolic-input encodes — over a
@@ -313,22 +305,19 @@ func EncodeContext(ctx context.Context, f *FSM, opt Options) (*Result, error) {
 	return encodeRun(ctx, newEngine(opt), f, opt)
 }
 
-// encodeRun wraps one complete run in its telemetry envelope: the tracer
-// (if any) is attached to the context, the run executes under a root
-// "nova.encode" span, the per-algorithm outcome tally and the pool
-// scheduling counters are recorded, and the snapshot is attached to the
-// Result — including the partial Result of an ErrGaveUp run. Without a
-// tracer this is exactly encodeWith.
-func encodeRun(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, error) {
-	t := opt.Tracer
+// encodeObserved wraps one machine's run in the per-run telemetry
+// envelope — the "nova.encode" span with its machine/algorithm/outcome
+// attributes and the per-algorithm outcome tally. It is the single copy
+// of that envelope, shared by EncodeContext (via encodeRun) and the
+// EncodeAll fan-out; without a tracer it is exactly encodeWith. The
+// tracer must already be attached to ctx (obs.With) by the caller.
+func encodeObserved(ctx context.Context, eng *engine, f *FSM, opt Options, t *Tracer) (*Result, error) {
 	if t == nil {
 		return encodeWith(ctx, eng, f, opt)
 	}
-	alg := opt.Algorithm
-	ctx = obs.With(ctx, t)
 	sctx, sp := obs.Span(ctx, "nova.encode")
 	sp.SetStr("machine", f.Name)
-	sp.SetStr("algorithm", string(alg))
+	sp.SetStr("algorithm", string(opt.Algorithm))
 	res, err := encodeWith(sctx, eng, f, opt)
 	outcome := outcomeOf(err)
 	sp.SetStr("outcome", outcome)
@@ -337,8 +326,22 @@ func encodeRun(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, 
 		sp.SetInt("cubes", int64(res.Cubes))
 	}
 	sp.End()
+	t.Metrics().Add("algo."+outcome+"."+string(opt.Algorithm), 1)
+	return res, err
+}
+
+// encodeRun completes the single-machine telemetry envelope around
+// encodeObserved: the tracer (if any) is attached to the context, the
+// pool scheduling counters are flushed, and the snapshot is attached to
+// the Result — including the partial Result of an ErrGaveUp run. Without
+// a tracer this is exactly encodeWith.
+func encodeRun(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result, error) {
+	t := opt.Tracer
+	if t == nil {
+		return encodeWith(ctx, eng, f, opt)
+	}
+	res, err := encodeObserved(obs.With(ctx, t), eng, f, opt, t)
 	m := t.Metrics()
-	m.Add("algo."+outcome+"."+string(alg), 1)
 	flushPoolStats(m, eng.pool)
 	flushForkStats(m, eng.fork)
 	if res != nil {
@@ -547,8 +550,6 @@ func encodeInput(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result
 		case IExact:
 			r = encode.IExact(f.NumStates(), cs.States, encode.ExactOptions{MaxWork: opt.MaxWork, Ctx: sctx, Fanout: eng.fan, NoPrune: opt.DisableSearchPruning})
 			if r.Err == nil && r.GaveUp {
-				// The deprecated Result.GaveUp flag is set in one place
-				// only: the ErrGaveUp branch after g.Wait below.
 				return fmt.Errorf("nova: %s: state variable: %w", opt.Algorithm, ErrGaveUp)
 			}
 		case IHybrid:
@@ -591,10 +592,8 @@ func encodeInput(ctx context.Context, eng *engine, f *FSM, opt Options) (*Result
 	}
 	if err := g.Wait(); err != nil {
 		if errors.Is(err, ErrGaveUp) {
-			// Sole writer of the deprecated flag: the partial Result of a
-			// gave-up run carries it for callers still migrating to the
-			// ErrGaveUp sentinel.
-			res.GaveUp = true
+			// The partial Result of a gave-up run travels alongside the
+			// error so tables can render their "-" entries.
 			return res, err
 		}
 		return nil, err
@@ -681,17 +680,12 @@ func finishResult(ctx context.Context, f *FSM, res *Result, opt Options, mopt es
 	return res, nil
 }
 
-// Verify checks that an assignment implements the FSM: the encoded,
-// minimized machine is simulated against the symbolic table on every
-// (input, state) combination (sampled when the input space is large).
-// It is VerifyContext with context.Background().
-func Verify(f *FSM, asg Assignment) error {
-	return VerifyContext(context.Background(), f, asg)
-}
-
-// VerifyContext is Verify under a context: cancellation stops the
-// minimization of the encoded machine and the simulation sweep, and
-// returns an error matching errors.Is(err, ErrCanceled).
+// VerifyContext checks that an assignment implements the FSM: the
+// encoded, minimized machine is simulated against the symbolic table on
+// every (input, state) combination (sampled when the input space is
+// large). Cancellation stops the minimization of the encoded machine and
+// the simulation sweep, and returns an error matching
+// errors.Is(err, ErrCanceled).
 func VerifyContext(ctx context.Context, f *FSM, asg Assignment) error {
 	err := verify.EquivalentFSM(f, asg, verify.Options{Ctx: ctx})
 	if cerr := ctx.Err(); cerr != nil {

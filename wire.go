@@ -23,8 +23,20 @@ import (
 	"time"
 )
 
+// WireVersion is the wire schema revision this build speaks: the value
+// stamped on every Response and the only Request api_version accepted
+// (absent counts as current). The revision covers field meanings, the
+// error-kind enum and the cache-key discipline; adding fields does not
+// bump it, renaming or repurposing one does.
+const WireVersion = 2
+
 // Request is one encode request on the wire.
 type Request struct {
+	// APIVersion is the wire schema revision the client wrote the request
+	// against. Absent (0) means the current revision (WireVersion); any
+	// other value than WireVersion is rejected up front with an error
+	// matching both ErrBadOptions and ErrUnsupportedVersion.
+	APIVersion int `json:"api_version,omitempty"`
 	// KISS2 is the machine as KISS2 text (the canonical source form).
 	KISS2 string `json:"kiss2"`
 	// Name optionally overrides the machine name used in the Response.
@@ -82,10 +94,33 @@ func (wp *WirePortfolio) Config() *PortfolioConfig {
 	return pc
 }
 
+// Version resolves the request's schema revision: an absent api_version
+// is read as the current WireVersion, so pre-versioning clients keep
+// working unchanged.
+func (rq *Request) Version() int {
+	if rq.APIVersion == 0 {
+		return WireVersion
+	}
+	return rq.APIVersion
+}
+
+// checkVersion rejects a request written against a schema revision this
+// build does not speak.
+func (rq *Request) checkVersion() error {
+	if v := rq.Version(); v != WireVersion {
+		return fmt.Errorf("%w: %w: api_version %d (this build speaks %d)",
+			ErrBadOptions, ErrUnsupportedVersion, v, WireVersion)
+	}
+	return nil
+}
+
 // Machine parses the request's KISS2 text (applying the Name override).
 // Failures wrap ErrBadOptions: a malformed machine is a bad request, not
 // an engine failure.
 func (rq *Request) Machine() (*FSM, error) {
+	if err := rq.checkVersion(); err != nil {
+		return nil, err
+	}
 	if rq.KISS2 == "" {
 		return nil, fmt.Errorf("%w: empty kiss2 source", ErrBadOptions)
 	}
@@ -132,7 +167,8 @@ func (rq *Request) Validate() (*FSM, error) {
 // schema or the encoding pipeline changes observably, so stale caches
 // can never serve bytes produced by an older layout. v2: WireTelemetry
 // grew the per-phase table (telemetry-carrying bodies changed shape).
-const cacheKeyVersion = "nova-wire-v2"
+// v3: Response bodies are stamped with api_version.
+const cacheKeyVersion = "nova-wire-v3"
 
 // CacheKey returns the content address of the request: a SHA-256 hex
 // digest of the canonical machine text (re-emitted from the parsed FSM,
@@ -227,21 +263,56 @@ func wireEncodingOf(name string, values []string, e Encoding) WireEncoding {
 	return we
 }
 
-// Error kinds of a Response, mapping the package's sentinel errors onto
-// stable wire strings.
+// Error kinds of a Response: the closed enum of wire strings a response's
+// error_kind field may carry. The set is part of the wire compatibility
+// contract — clients may switch exhaustively over it (treating unknown
+// strings as ErrKindInternal for forward compatibility), and additions
+// require a note in docs/API.md. ErrorKinds returns the full set.
 const (
-	ErrKindBadRequest  = "bad_request"
-	ErrKindGaveUp      = "gave_up"
+	// ErrKindBadRequest: the request itself is unusable (malformed body,
+	// unparsable KISS2, invalid options). Retrying cannot help.
+	ErrKindBadRequest = "bad_request"
+	// ErrKindUnsupportedVersion: the request's api_version names a schema
+	// revision the server does not speak. Retrying cannot help.
+	ErrKindUnsupportedVersion = "unsupported_version"
+	// ErrKindGaveUp: iexact exhausted its work budget. Deterministic —
+	// retrying the identical request reproduces it.
+	ErrKindGaveUp = "gave_up"
+	// ErrKindUnencodable: no two-level implementation exists for the
+	// machine. Deterministic.
 	ErrKindUnencodable = "unencodable"
-	ErrKindCanceled    = "canceled"
-	ErrKindInternal    = "internal"
+	// ErrKindCanceled: the request's deadline fired or its client hung up
+	// before the run finished. Retrying with a larger budget may succeed.
+	ErrKindCanceled = "canceled"
+	// ErrKindOverloaded: the server refused the request to protect itself
+	// (admission saturation, load shedding, drain). Always retryable —
+	// these responses carry a Retry-After header.
+	ErrKindOverloaded = "overloaded"
+	// ErrKindInternal: everything else. The catch-all for faults the enum
+	// does not name; also what clients should map unknown kinds to.
+	ErrKindInternal = "internal"
 )
 
-// ErrorKindOf classifies err for the wire ("" for nil).
+// ErrorKinds returns the closed enum of Response error kinds in stable
+// order. New kinds are appended, never renamed — the API snapshot gate
+// and the docs/API.md table both pin this set.
+func ErrorKinds() []string {
+	return []string{
+		ErrKindBadRequest, ErrKindUnsupportedVersion, ErrKindGaveUp,
+		ErrKindUnencodable, ErrKindCanceled, ErrKindOverloaded,
+		ErrKindInternal,
+	}
+}
+
+// ErrorKindOf classifies err for the wire ("" for nil). The unsupported-
+// version check precedes the bad-request one because ErrUnsupportedVersion
+// always travels joined with ErrBadOptions.
 func ErrorKindOf(err error) string {
 	switch {
 	case err == nil:
 		return ""
+	case errors.Is(err, ErrUnsupportedVersion):
+		return ErrKindUnsupportedVersion
 	case errors.Is(err, ErrBadOptions):
 		return ErrKindBadRequest
 	case errors.Is(err, ErrGaveUp):
@@ -250,9 +321,26 @@ func ErrorKindOf(err error) string {
 		return ErrKindUnencodable
 	case errors.Is(err, ErrCanceled):
 		return ErrKindCanceled
+	case errors.Is(err, ErrOverloaded):
+		return ErrKindOverloaded
 	default:
 		return ErrKindInternal
 	}
+}
+
+// RetryableKind reports whether a request that failed with the given
+// error kind is worth retrying: the failure is a transient server or
+// timing condition, not a property of the request. Every nova endpoint is
+// idempotent (encodes are pure functions of the request), so retrying is
+// always *safe*; this reports whether it can *help*. Unknown kinds
+// (future servers) report false — the conservative reading of a closed
+// enum.
+func RetryableKind(kind string) bool {
+	switch kind {
+	case ErrKindOverloaded, ErrKindCanceled, ErrKindInternal:
+		return true
+	}
+	return false
 }
 
 // WireTelemetry is the telemetry summary of one run on the wire.
@@ -296,8 +384,11 @@ func WirePhasesOf(snap *TelemetrySnapshot) []WirePhase {
 
 // Response is one encode result (or failure) on the wire.
 type Response struct {
-	Machine   string    `json:"machine,omitempty"`
-	Algorithm Algorithm `json:"algorithm,omitempty"`
+	// APIVersion is the wire schema revision the response was rendered
+	// under (WireVersion for everything this build emits).
+	APIVersion int       `json:"api_version,omitempty"`
+	Machine    string    `json:"machine,omitempty"`
+	Algorithm  Algorithm `json:"algorithm,omitempty"`
 	// Bits / Cubes / Area are the paper's cost columns: total encoding
 	// length, product terms, PLA area.
 	Bits  int `json:"bits,omitempty"`
@@ -335,6 +426,7 @@ type Response struct {
 // the state and symbolic value names.
 func ResponseOf(f *FSM, res *Result) *Response {
 	rp := &Response{
+		APIVersion:      WireVersion,
 		Algorithm:       res.Algorithm,
 		Bits:            res.Bits,
 		Cubes:           res.Cubes,
@@ -377,10 +469,11 @@ func ResponseOf(f *FSM, res *Result) *Response {
 // ErrorResponse renders a failed encode for the wire.
 func ErrorResponse(machine string, alg Algorithm, err error) *Response {
 	return &Response{
-		Machine:   machine,
-		Algorithm: alg,
-		Error:     err.Error(),
-		ErrorKind: ErrorKindOf(err),
+		APIVersion: WireVersion,
+		Machine:    machine,
+		Algorithm:  alg,
+		Error:      err.Error(),
+		ErrorKind:  ErrorKindOf(err),
 	}
 }
 
@@ -416,16 +509,19 @@ func (rp *Response) Assignment() (Assignment, error) {
 // machine (POST /v1/verify). The assignment fields use the same wire
 // encoding as Response, so a served Response can be fed back verbatim.
 type VerifyRequest struct {
-	KISS2   string         `json:"kiss2"`
-	Name    string         `json:"name,omitempty"`
-	States  *WireEncoding  `json:"states"`
-	SymIns  []WireEncoding `json:"sym_ins,omitempty"`
-	SymOuts []WireEncoding `json:"sym_outs,omitempty"`
+	// APIVersion follows the same versioning contract as Request.
+	APIVersion int            `json:"api_version,omitempty"`
+	KISS2      string         `json:"kiss2"`
+	Name       string         `json:"name,omitempty"`
+	States     *WireEncoding  `json:"states"`
+	SymIns     []WireEncoding `json:"sym_ins,omitempty"`
+	SymOuts    []WireEncoding `json:"sym_outs,omitempty"`
 }
 
-// Machine parses the verify request's KISS2 text.
+// Machine parses the verify request's KISS2 text (rejecting unsupported
+// api_version values the same way Request does).
 func (vq *VerifyRequest) Machine() (*FSM, error) {
-	rq := Request{KISS2: vq.KISS2, Name: vq.Name}
+	rq := Request{APIVersion: vq.APIVersion, KISS2: vq.KISS2, Name: vq.Name}
 	return rq.Machine()
 }
 
@@ -437,9 +533,10 @@ func (vq *VerifyRequest) Assignment() (Assignment, error) {
 
 // VerifyResponse reports a verification outcome on the wire.
 type VerifyResponse struct {
-	OK        bool   `json:"ok"`
-	Error     string `json:"error,omitempty"`
-	ErrorKind string `json:"error_kind,omitempty"`
+	APIVersion int    `json:"api_version,omitempty"`
+	OK         bool   `json:"ok"`
+	Error      string `json:"error,omitempty"`
+	ErrorKind  string `json:"error_kind,omitempty"`
 }
 
 // stateNames returns the FSM's state names, or nil.
